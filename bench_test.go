@@ -1,0 +1,57 @@
+package plasmahd_test
+
+// One benchmark per reproduced table/figure (see DESIGN.md §3). Each bench
+// runs the corresponding experiment harness at a reduced scale so that
+// `go test -bench=. -benchmem` finishes in minutes; cmd/plasmabench runs
+// the same code at full reproduction scale.
+
+import (
+	"io"
+	"testing"
+
+	"plasmahd/internal/experiments"
+)
+
+// benchScale caps dataset sizes during benchmarking.
+const benchScale = 150
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, benchScale, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE21_DatasetInventory(b *testing.B)   { benchExperiment(b, "E2.1") }
+func BenchmarkE22_ToyProbe(b *testing.B)           { benchExperiment(b, "E2.2") }
+func BenchmarkE23_CumulativeAPSS(b *testing.B)     { benchExperiment(b, "E2.3") }
+func BenchmarkE24_TriangleCues(b *testing.B)       { benchExperiment(b, "E2.4") }
+func BenchmarkE25_Incremental(b *testing.B)        { benchExperiment(b, "E2.5") }
+func BenchmarkE26_SketchProportion(b *testing.B)   { benchExperiment(b, "E2.6") }
+func BenchmarkE27_KnowledgeCache(b *testing.B)     { benchExperiment(b, "E2.7") }
+func BenchmarkE31_GrowthDatasets(b *testing.B)     { benchExperiment(b, "E3.1") }
+func BenchmarkE32_MeasureSweep(b *testing.B)       { benchExperiment(b, "E3.2") }
+func BenchmarkE33_TranslationScaling(b *testing.B) { benchExperiment(b, "E3.3") }
+func BenchmarkE34_Regression(b *testing.B)         { benchExperiment(b, "E3.4") }
+func BenchmarkE35_ErrorTable(b *testing.B)         { benchExperiment(b, "E3.5") }
+func BenchmarkE36_SamplingDist(b *testing.B)       { benchExperiment(b, "E3.6") }
+func BenchmarkE37_MeasureRuntimes(b *testing.B)    { benchExperiment(b, "E3.7") }
+func BenchmarkE38_TriangleSpeedup(b *testing.B)    { benchExperiment(b, "E3.8") }
+func BenchmarkE41_PhaseBreakdown(b *testing.B)     { benchExperiment(b, "E4.1") }
+func BenchmarkE42_UtilityCompression(b *testing.B) { benchExperiment(b, "E4.2") }
+func BenchmarkE43_Compressors(b *testing.B)        { benchExperiment(b, "E4.3") }
+func BenchmarkE44_SampledBaseline(b *testing.B)    { benchExperiment(b, "E4.4") }
+func BenchmarkE45_Classification(b *testing.B)     { benchExperiment(b, "E4.5") }
+func BenchmarkE46_ClosedComparison(b *testing.B)   { benchExperiment(b, "E4.6") }
+func BenchmarkE47_PLAMScaling(b *testing.B)        { benchExperiment(b, "E4.7") }
+func BenchmarkE48_LengthCompression(b *testing.B)  { benchExperiment(b, "E4.8") }
+func BenchmarkE49_CompressThresholds(b *testing.B) { benchExperiment(b, "E4.9") }
+func BenchmarkE51_OrderingTimes(b *testing.B)      { benchExperiment(b, "E5.1") }
+func BenchmarkE52_EnergyReduction(b *testing.B)    { benchExperiment(b, "E5.2") }

@@ -1,0 +1,63 @@
+// Command plasmabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	plasmabench -list
+//	plasmabench -exp E2.7            # one experiment at default scale
+//	plasmabench -all -scale 200      # everything, capped datasets
+//
+// Scale caps per-dataset row counts; 0 runs the default reproduction scale
+// recorded in EXPERIMENTS.md (minutes, not hours). Output is plain text:
+// aligned tables for the paper's tables, TSV/ASCII series for its figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"plasmahd/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (e.g. E4.9)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiments")
+		scale = flag.Int("scale", 0, "cap dataset sizes (0 = default scale)")
+		seed  = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Paper)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			fmt.Printf("==== %s — %s ====\n", e.ID, e.Paper)
+			start := time.Now()
+			if err := e.Run(os.Stdout, *scale, *seed); err != nil {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	case *exp != "":
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s — %s ====\n", e.ID, e.Paper)
+		if err := e.Run(os.Stdout, *scale, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

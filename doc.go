@@ -1,0 +1,19 @@
+// Package plasmahd is a from-scratch Go reproduction of PLASMA-HD —
+// "Probing the LAttice Structure and MAkeup of High-dimensional Data"
+// (Fuhry; demo at VLDB 2013, full system in the 2015 OSU dissertation) —
+// together with every substrate the system depends on: a BayesLSH-style
+// all-pairs similarity engine with knowledge caching (chapter 2), graph
+// measure prediction over densifying graphs (chapter 3), the LAM
+// linearithmic pattern miner used as a compressibility/clusterability
+// estimator (chapter 4), and parallel-coordinates dimension ordering and
+// energy-based de-cluttering (chapter 5).
+//
+// The implementation lives under internal/; cmd/plasma is the interactive
+// probing shell, cmd/plasmabench regenerates every table and figure of the
+// paper's evaluation, and examples/ holds runnable walkthroughs. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package plasmahd
+
+// Version identifies this reproduction.
+const Version = "1.0.0"

@@ -1,0 +1,58 @@
+// Threshold explorer: the §2.2.2 interactive scenario end to end, plus the
+// Fig 2.10 knowledge-caching workload — the two headline interactivity
+// results of PLASMA-HD.
+//
+//	go run ./examples/thresholdexplorer
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"plasmahd/internal/bayeslsh"
+	"plasmahd/internal/core"
+	"plasmahd/internal/dataset"
+	"plasmahd/internal/viz"
+)
+
+func main() {
+	// Part 1: interactive scenario on the toy d1 dataset of Fig 2.2.
+	toy := dataset.Toy50(1)
+	grid := core.ThresholdGrid(0.5, 0.99, 11)
+	sc, err := core.RunInteractiveScenario(toy.Dataset(), bayeslsh.DefaultParams(), 0.95, grid, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Interactive scenario (§2.2.2) ==")
+	fmt.Printf("user probes t=%.2f; system suggests the curve knee t=%.2f\n",
+		sc.FirstThreshold, sc.KneeThreshold)
+	var rows [][]string
+	for k, t := range grid {
+		rows = append(rows, []string{viz.F(t), viz.F(sc.Curve[k].Estimate),
+			viz.F(sc.Curve[k].ErrBar), fmt.Sprint(sc.TruthCurve[k])})
+	}
+	viz.Table(os.Stdout, []string{"t", "estimate", "errbar", "ground truth"}, rows)
+	fmt.Printf("two probes: %v; brute-force 11-threshold sweep: %v; savings %.0f%%\n\n",
+		sc.TwoProbeTime.Round(time.Microsecond),
+		sc.BruteForceTime.Round(time.Microsecond), sc.SavingsPct)
+
+	// Part 2: knowledge caching on a Twitter-like corpus (Fig 2.10).
+	d, err := dataset.NewCorpusScaled("twitter", 600, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	steps, err := core.KnowledgeCachingWorkload(d, bayeslsh.DefaultParams(),
+		[]float64{0.95, 0.90, 0.85, 0.80, 0.75, 0.70}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Knowledge caching workload (Fig 2.10) ==")
+	rows = rows[:0]
+	for _, st := range steps {
+		rows = append(rows, []string{viz.F(st.Threshold),
+			fmt.Sprint(st.UncachedHashes), fmt.Sprint(st.CachedHashes), viz.F(st.SpeedupPct)})
+	}
+	viz.Table(os.Stdout, []string{"t", "hash cmps (cold)", "hash cmps (cached)", "savings %"}, rows)
+}

@@ -1,0 +1,459 @@
+// Package bayeslsh implements the BayesLSH-style all-pairs similarity search
+// engine PLASMA-HD builds on (§2.2.1). Candidate pairs from an inverted
+// index are compared hash-by-hash; a Bayesian posterior over the collision
+// probability prunes unpromising pairs early (Eq 2.1) and stops hashing once
+// the similarity estimate is concentrated (Eq 2.2). Unlike the original
+// algorithm, every candidate's final (matches, hashes) state is memoized in
+// a knowledge cache so later probes at other thresholds resume incremental
+// comparison instead of starting over — the paper's crucial enhancement.
+package bayeslsh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"plasmahd/internal/lsh"
+	"plasmahd/internal/stats"
+	"plasmahd/internal/vec"
+)
+
+// Params are the inference and sketching knobs of BayesLSH.
+type Params struct {
+	// Epsilon bounds the false-negative probability of pruning (Eq 2.1).
+	Epsilon float64
+	// Delta is the similarity-estimate accuracy radius of Eq 2.2.
+	Delta float64
+	// Gamma bounds the probability the estimate is off by more than Delta.
+	Gamma float64
+	// MaxHashes is the sketch length; pairs still undecided after MaxHashes
+	// are finalized with their MAP estimate.
+	MaxHashes int
+	// Step is the number of hashes compared per incremental round.
+	Step int
+	// MaxDFFrac skips features present in more than this fraction of rows
+	// during candidate generation (the standard stop-word optimization of
+	// all-pairs search); such features carry negligible TF/IDF weight.
+	MaxDFFrac float64
+	// Lite enables BayesLSH-Lite behaviour: pairs that survive pruning have
+	// their similarity computed exactly instead of estimated from hashes.
+	// Pruned pairs keep posterior-only evidence, so the cumulative curve
+	// stays exact above the probed threshold and uncertain below it — the
+	// Fig 2.3/2.4 asymmetry.
+	Lite bool
+}
+
+// DefaultParams returns the parameter set used throughout the experiments.
+func DefaultParams() Params {
+	return Params{Epsilon: 0.03, Delta: 0.05, Gamma: 0.05, MaxHashes: 256, Step: 32, MaxDFFrac: 0.5, Lite: true}
+}
+
+func (p Params) schedulePoints() int { return (p.MaxHashes + p.Step - 1) / p.Step }
+
+// PairState is the memoized evidence about one candidate pair: m of n hashes
+// matched. Done pairs have a concentrated (or exhausted) estimate; pairs
+// pruned at a higher threshold stay resumable. In Lite mode, Done pairs
+// additionally carry the exactly computed similarity.
+type PairState struct {
+	M, N     int32
+	Done     bool
+	HasExact bool
+	Exact    float32
+}
+
+// PairKey packs an (i<j) row pair into a map key.
+func PairKey(i, j int32) uint64 {
+	if i > j {
+		i, j = j, i
+	}
+	return uint64(uint32(i))<<32 | uint64(uint32(j))
+}
+
+// UnpackKey returns the (i, j) rows of a packed key.
+func UnpackKey(k uint64) (int32, int32) {
+	return int32(k >> 32), int32(k & 0xffffffff)
+}
+
+// Cache is PLASMA-HD's knowledge cache (§2.2.1): the dataset sketches plus
+// the memoized per-pair hash-comparison states accumulated across probes.
+type Cache struct {
+	Params  Params
+	Measure vec.Measure
+	N       int
+
+	minSigs [][]uint32
+	srpSigs [][]uint64
+
+	// Pairs memoizes evidence for every candidate pair ever evaluated.
+	Pairs map[uint64]PairState
+
+	// SketchTime is the start-up cost of building the initial sketches
+	// (the Fig 2.9 quantity); it is paid once per dataset.
+	SketchTime time.Duration
+
+	// conc[k] marks (m at schedule point k) combinations whose posterior is
+	// concentrated within Delta (threshold-independent decision table).
+	conc [][]bool
+	// pruneMax caches, per threshold, the largest m at each schedule point
+	// for which Eq 2.1 still prunes.
+	pruneMax map[float64][]int32
+}
+
+// NewCache sketches the dataset and returns an empty knowledge cache.
+// Minhash signatures are built for Jaccard data, signed-random-projection
+// signatures for cosine data.
+func NewCache(ds *vec.Dataset, p Params, seed int64) *Cache {
+	c := &Cache{
+		Params:   p,
+		Measure:  ds.Measure,
+		N:        ds.N(),
+		Pairs:    make(map[uint64]PairState),
+		pruneMax: make(map[float64][]int32),
+		conc:     make([][]bool, p.schedulePoints()),
+	}
+	start := time.Now()
+	if ds.Measure == vec.JaccardSim {
+		mh := lsh.NewMinHasher(p.MaxHashes, seed)
+		c.minSigs = make([][]uint32, ds.N())
+		for i, r := range ds.Rows {
+			c.minSigs[i] = mh.Sketch(r)
+		}
+	} else {
+		srp := lsh.NewSRP(p.MaxHashes, ds.Dim, seed)
+		c.srpSigs = make([][]uint64, ds.N())
+		for i, r := range ds.Rows {
+			c.srpSigs[i] = srp.Sketch(r)
+		}
+	}
+	c.SketchTime = time.Since(start)
+	return c
+}
+
+// matches counts agreeing hash positions among the first n for pair (i, j).
+func (c *Cache) matches(i, j int32, n int) int {
+	if c.minSigs != nil {
+		return lsh.MatchesU32(c.minSigs[i], c.minSigs[j], n)
+	}
+	return lsh.MatchesPacked(c.srpSigs[i], c.srpSigs[j], n)
+}
+
+// simToCollision maps a similarity threshold into per-hash collision space.
+func (c *Cache) simToCollision(s float64) float64 {
+	if c.Measure == vec.JaccardSim {
+		if s < 0 {
+			return 0
+		}
+		if s > 1 {
+			return 1
+		}
+		return s
+	}
+	return lsh.CosineToCollision(s)
+}
+
+// collisionToSim maps a collision probability back to similarity space.
+func (c *Cache) collisionToSim(p float64) float64 {
+	if c.Measure == vec.JaccardSim {
+		return p
+	}
+	return lsh.CollisionToCosine(p)
+}
+
+// Estimate returns the similarity estimate for a pair state: the exact
+// value for Lite-verified pairs, the MAP estimate otherwise.
+func (c *Cache) Estimate(ps PairState) float64 {
+	if ps.HasExact {
+		return float64(ps.Exact)
+	}
+	if ps.N == 0 {
+		return 0
+	}
+	return c.collisionToSim(stats.NewBetaPosterior(int(ps.M), int(ps.N)).MAP())
+}
+
+// ProbAbove returns the posterior probability that the pair's similarity
+// exceeds t — the summand of the cumulative APSS curve. Exactly verified
+// pairs contribute 0 or 1.
+func (c *Cache) ProbAbove(ps PairState, t float64) float64 {
+	if ps.HasExact {
+		if float64(ps.Exact) >= t {
+			return 1
+		}
+		return 0
+	}
+	if ps.N == 0 {
+		return 0
+	}
+	return stats.NewBetaPosterior(int(ps.M), int(ps.N)).Tail(c.simToCollision(t))
+}
+
+// concentrated reports whether the Eq 2.2 stopping rule fires at schedule
+// point k (n = (k+1)*Step) with m matches, via a lazily built table.
+func (c *Cache) concentrated(k, m int) bool {
+	row := c.conc[k]
+	if row == nil {
+		n := (k + 1) * c.Params.Step
+		if n > c.Params.MaxHashes {
+			n = c.Params.MaxHashes
+		}
+		row = make([]bool, n+1)
+		for mm := 0; mm <= n; mm++ {
+			post := stats.NewBetaPosterior(mm, n)
+			sHat := c.collisionToSim(post.MAP())
+			lo := c.simToCollision(sHat - c.Params.Delta)
+			hi := c.simToCollision(sHat + c.Params.Delta)
+			row[mm] = post.CDF(hi)-post.CDF(lo) > 1-c.Params.Gamma
+		}
+		c.conc[k] = row
+	}
+	if m >= len(row) {
+		m = len(row) - 1
+	}
+	return row[m]
+}
+
+// pruneBound returns, for each schedule point, the largest match count m for
+// which P(S >= t | m, n) < epsilon, so the comparison loop prunes with a
+// single integer compare.
+func (c *Cache) pruneBound(t float64) []int32 {
+	if b, ok := c.pruneMax[t]; ok {
+		return b
+	}
+	pT := c.simToCollision(t)
+	pts := c.Params.schedulePoints()
+	bound := make([]int32, pts)
+	for k := 0; k < pts; k++ {
+		n := (k + 1) * c.Params.Step
+		if n > c.Params.MaxHashes {
+			n = c.Params.MaxHashes
+		}
+		// Tail is increasing in m: binary search the largest pruned m.
+		lo, hi := -1, n // lo: always prunable, hi: first non-prunable
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if stats.NewBetaPosterior(mid, n).Tail(pT) < c.Params.Epsilon {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		bound[k] = int32(lo)
+	}
+	c.pruneMax[t] = bound
+	return bound
+}
+
+// Pair is a finalized similar pair.
+type Pair struct {
+	I, J int32
+	Est  float64
+}
+
+// Result summarizes one all-pairs probe.
+type Result struct {
+	Threshold      float64
+	Pairs          []Pair
+	Candidates     int   // candidate pairs examined this probe
+	Pruned         int   // candidates dropped by Eq 2.1
+	CacheHits      int   // candidates answered wholly from the cache
+	HashesCompared int64 // incremental hash comparisons performed
+	ProcessTime    time.Duration
+}
+
+// ProgressFunc observes the probe after each processed row; pairsAbove is
+// the number of similar pairs found so far among the first rows. It drives
+// the incremental-approximation experiments (Figs 2.6-2.8).
+type ProgressFunc func(rowsProcessed, totalRows, pairsAbove int)
+
+// Search runs an all-pairs similarity probe at threshold t, reusing and
+// extending the knowledge cache. Rows are processed in index order; the
+// inverted index grows incrementally so that after processing k rows all
+// pairs within the first k rows have been decided.
+func Search(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc) (*Result, error) {
+	if ds.N() != c.N {
+		return nil, fmt.Errorf("bayeslsh: cache built for %d rows, dataset has %d", c.N, ds.N())
+	}
+	p := c.Params
+	start := time.Now()
+	res := &Result{Threshold: t}
+	bound := c.pruneBound(t)
+
+	maxDF := int(p.MaxDFFrac * float64(ds.N()))
+	if maxDF < 2 {
+		maxDF = 2
+	}
+	// The stop-word cap is only sound for sparse data, where features past
+	// the cap carry negligible weight. On dense matrix-like data (every row
+	// touches most features) it would sever candidate generation entirely,
+	// so disable it there.
+	if float64(ds.Dim) <= 2*ds.AvgLen() {
+		maxDF = ds.N()
+	}
+	postings := make(map[int32][]int32, ds.Dim)
+	df := make(map[int32]int, ds.Dim)
+	seen := make([]int32, 0, 256) // candidate j's for the current row
+	mark := make([]int32, ds.N())
+	for i := range mark {
+		mark[i] = -1
+	}
+
+	for i := 0; i < ds.N(); i++ {
+		row := ds.Rows[i]
+		seen = seen[:0]
+		for _, ix := range row.Indices {
+			if df[ix] > maxDF {
+				continue
+			}
+			for _, j := range postings[ix] {
+				if mark[j] != int32(i) {
+					mark[j] = int32(i)
+					seen = append(seen, j)
+				}
+			}
+		}
+		for _, j := range seen {
+			key := PairKey(j, int32(i))
+			ps := c.Pairs[key]
+			if ps.Done {
+				res.CacheHits++
+			} else {
+				prunedNow := false
+				for !ps.Done {
+					if int(ps.N) >= p.MaxHashes {
+						// Sketch exhausted on an earlier probe (pruned at
+						// the final schedule point): evidence is complete.
+						ps.Done = true
+						break
+					}
+					k := int(ps.N) / p.Step // next schedule point
+					n := (k + 1) * p.Step
+					if n > p.MaxHashes {
+						n = p.MaxHashes
+					}
+					ps.M = int32(c.matches(j, int32(i), n))
+					res.HashesCompared += int64(n - int(ps.N))
+					ps.N = int32(n)
+					if ps.M <= bound[k] {
+						prunedNow = true // Eq 2.1: almost surely below t
+						break
+					}
+					if c.concentrated(k, int(ps.M)) || n == p.MaxHashes {
+						ps.Done = true // Eq 2.2 or sketch exhausted
+					}
+				}
+				if ps.Done && !ps.HasExact && p.Lite {
+					// BayesLSH-Lite: verify survivors exactly.
+					ps.Exact = float32(ds.Similarity(int(j), i))
+					ps.HasExact = true
+				}
+				c.Pairs[key] = ps
+				res.Candidates++
+				if prunedNow {
+					res.Pruned++
+				}
+			}
+			if ps.Done {
+				if est := c.Estimate(ps); est >= t {
+					res.Pairs = append(res.Pairs, Pair{I: j, J: int32(i), Est: est})
+				}
+			}
+		}
+		// Index row i for subsequent rows.
+		for _, ix := range row.Indices {
+			df[ix]++
+			if df[ix] <= maxDF {
+				postings[ix] = append(postings[ix], int32(i))
+			}
+		}
+		if progress != nil {
+			progress(i+1, ds.N(), len(res.Pairs))
+		}
+	}
+	sort.Slice(res.Pairs, func(a, b int) bool {
+		if res.Pairs[a].I != res.Pairs[b].I {
+			return res.Pairs[a].I < res.Pairs[b].I
+		}
+		return res.Pairs[a].J < res.Pairs[b].J
+	})
+	res.ProcessTime = time.Since(start)
+	return res, nil
+}
+
+// Exact computes the ground-truth similar pairs by brute force; it is the
+// "dark red line" of Figs 2.3-2.4 and the oracle for accuracy tests.
+func Exact(ds *vec.Dataset, t float64) []Pair {
+	var out []Pair
+	for i := 0; i < ds.N(); i++ {
+		for j := i + 1; j < ds.N(); j++ {
+			if s := ds.Similarity(i, j); s >= t {
+				out = append(out, Pair{I: int32(i), J: int32(j), Est: s})
+			}
+		}
+	}
+	return out
+}
+
+// ExactCurve counts ground-truth pairs at each threshold of the grid.
+func ExactCurve(ds *vec.Dataset, grid []float64) []int {
+	counts := make([]int, len(grid))
+	for i := 0; i < ds.N(); i++ {
+		for j := i + 1; j < ds.N(); j++ {
+			s := ds.Similarity(i, j)
+			for k, t := range grid {
+				if s >= t {
+					counts[k]++
+				}
+			}
+		}
+	}
+	return counts
+}
+
+// RecallPrecision compares a probe's pairs against ground truth at the same
+// threshold.
+func RecallPrecision(got []Pair, truth []Pair) (recall, precision float64) {
+	tset := make(map[uint64]bool, len(truth))
+	for _, p := range truth {
+		tset[PairKey(p.I, p.J)] = true
+	}
+	if len(truth) == 0 {
+		if len(got) == 0 {
+			return 1, 1
+		}
+		return 1, 0
+	}
+	hit := 0
+	for _, p := range got {
+		if tset[PairKey(p.I, p.J)] {
+			hit++
+		}
+	}
+	recall = float64(hit) / float64(len(truth))
+	if len(got) > 0 {
+		precision = float64(hit) / float64(len(got))
+	} else {
+		precision = 1
+	}
+	return recall, precision
+}
+
+// EstimateVariance returns the posterior variance of a pair's similarity
+// estimate (propagated through the collision map by the delta method).
+// Exactly verified pairs have zero variance.
+func (c *Cache) EstimateVariance(ps PairState) float64 {
+	if ps.HasExact {
+		return 0
+	}
+	if ps.N == 0 {
+		return 0.25
+	}
+	post := stats.NewBetaPosterior(int(ps.M), int(ps.N))
+	v := post.Variance()
+	if c.Measure == vec.JaccardSim {
+		return v
+	}
+	// ds/dp of cos(pi(1-p)) is pi*sin(pi(1-p)).
+	d := math.Pi * math.Sin(math.Pi*(1-post.MAP()))
+	return v * d * d
+}

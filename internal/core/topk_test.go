@@ -1,0 +1,90 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"plasmahd/internal/bayeslsh"
+	"plasmahd/internal/dataset"
+)
+
+func TestKNNGraph(t *testing.T) {
+	toy := dataset.Toy50(1)
+	ds := toy.Dataset()
+	s := NewSession(ds, bayeslsh.DefaultParams(), 3)
+	if _, err := s.Probe(0.2); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, 5} {
+		g := s.KNNGraph(k)
+		if g.N() != ds.N() {
+			t.Fatalf("k=%d: N=%d", k, g.N())
+		}
+		// Every vertex keeps at least one neighbour (all toy rows have
+		// cached counterparts) and at most... unbounded in-degree, but the
+		// out-contribution is k, so M <= k*N.
+		if g.M() > k*ds.N() {
+			t.Errorf("k=%d: %d edges exceeds k*N", k, g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) == 0 {
+				t.Errorf("k=%d: vertex %d isolated", k, v)
+			}
+		}
+	}
+	// Monotone: larger k never removes edges.
+	g3, g5 := s.KNNGraph(3), s.KNNGraph(5)
+	if g5.M() < g3.M() {
+		t.Error("k=5 graph smaller than k=3 graph")
+	}
+}
+
+func TestKNNGraphKeepsMostSimilar(t *testing.T) {
+	toy := dataset.Toy50(1)
+	ds := toy.Dataset()
+	s := NewSession(ds, bayeslsh.DefaultParams(), 3)
+	if _, err := s.Probe(0.2); err != nil {
+		t.Fatal(err)
+	}
+	g := s.KNNGraph(1)
+	// With planted clusters, each vertex's single kept neighbour should be
+	// in the same cluster for nearly all vertices.
+	same := 0
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if toy.Labels[v] == toy.Labels[w] {
+				same++
+			}
+		}
+	}
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		total += g.Degree(v)
+	}
+	if float64(same) < 0.9*float64(total) {
+		t.Errorf("only %d/%d 1-NN edges intra-cluster", same, total)
+	}
+}
+
+func TestKNNThresholdEquivalent(t *testing.T) {
+	toy := dataset.Toy50(1)
+	s := NewSession(toy.Dataset(), bayeslsh.DefaultParams(), 3)
+	if _, err := s.Probe(0.2); err != nil {
+		t.Fatal(err)
+	}
+	th := s.KNNThresholdEquivalent(3)
+	if len(th) == 0 {
+		t.Fatal("no thresholds")
+	}
+	sort.Float64s(th)
+	// The spread motivates per-node top-K: the weakest-kept-edge similarity
+	// differs across vertices.
+	if th[len(th)-1]-th[0] <= 0 {
+		t.Error("expected a spread of per-node equivalent thresholds")
+	}
+	for _, v := range th {
+		if v < -1 || v > 1 {
+			t.Errorf("threshold %v out of similarity range", v)
+		}
+	}
+}

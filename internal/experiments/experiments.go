@@ -1,0 +1,50 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a function writing paper-style rows/series
+// to an io.Writer; cmd/plasmabench exposes them by id (E2.1 … E5.2) and the
+// repository-root benchmarks measure them. The scale parameter caps dataset
+// sizes (0 = the default reproduction scale documented in EXPERIMENTS.md);
+// shapes are scale-invariant, absolute numbers are not.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is a registered table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Paper string // which table/figure of the paper it regenerates
+	Run   func(w io.Writer, scale int, seed int64) error
+}
+
+var registry []Experiment
+
+func register(id, paper string, run func(w io.Writer, scale int, seed int64) error) {
+	registry = append(registry, Experiment{ID: id, Paper: paper, Run: run})
+}
+
+// All returns the registered experiments sorted by id.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q", id)
+}
+
+func capped(def, scale int) int {
+	if scale > 0 && scale < def {
+		return scale
+	}
+	return def
+}

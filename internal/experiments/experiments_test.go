@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	want := []string{"E2.1", "E2.2", "E2.3", "E2.4", "E2.5", "E2.6", "E2.7",
+		"E3.1", "E3.2", "E3.3", "E3.4", "E3.5", "E3.6", "E3.7", "E3.8",
+		"E4.1", "E4.2", "E4.3", "E4.4", "E4.5", "E4.6", "E4.7", "E4.8", "E4.9",
+		"E5.1", "E5.2"}
+	if len(all) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %s want %s", i, all[i].ID, id)
+		}
+		if all[i].Paper == "" {
+			t.Errorf("%s missing paper reference", id)
+		}
+	}
+	if _, err := ByID("E2.7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("E9.9"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+// TestAllExperimentsRunAtSmallScale smoke-runs every experiment with tight
+// dataset caps, asserting each produces output without error. Statistical
+// assertions live in the per-package tests; this guards the harness wiring.
+func TestAllExperimentsRunAtSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is seconds-long")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, 150, 1); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestExperimentOutputMentionsPaperArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	var buf bytes.Buffer
+	e, _ := ByID("E2.7")
+	if err := e.Run(&buf, 150, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 2.10") {
+		t.Error("E2.7 output should cite Fig 2.10")
+	}
+	buf.Reset()
+	e, _ = ByID("E3.5")
+	if err := e.Run(io.Discard, 120, 1); err != nil {
+		t.Fatal(err)
+	}
+}

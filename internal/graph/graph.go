@@ -1,0 +1,232 @@
+// Package graph implements the undirected-graph substrate and the graph
+// measures γ(G) that chapter 3 predicts and PLASMA-HD reports as visual
+// cues: connected components, degrees, core numbers, diameter, triangles,
+// cliques, clustering coefficient, eigenvalues, and betweenness centrality.
+package graph
+
+import (
+	"sort"
+)
+
+// Graph is an undirected simple graph with sorted adjacency lists.
+type Graph struct {
+	adj [][]int32
+	m   int
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]int32, n)}
+}
+
+// FromEdges builds a graph on n vertices from an edge list. Duplicate edges
+// and self loops are dropped.
+func FromEdges(n int, edges [][2]int32) *Graph {
+	g := New(n)
+	deg := make([]int, n)
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for v := range g.adj {
+		g.adj[v] = make([]int32, 0, deg[v])
+	}
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		g.adj[e[0]] = append(g.adj[e[0]], e[1])
+		g.adj[e[1]] = append(g.adj[e[1]], e[0])
+	}
+	for v := range g.adj {
+		l := g.adj[v]
+		sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+		// Dedup.
+		out := l[:0]
+		var prev int32 = -1
+		for _, w := range l {
+			if w != prev {
+				out = append(out, w)
+				prev = w
+			}
+		}
+		g.adj[v] = out
+		g.m += len(out)
+	}
+	g.m /= 2
+	return g
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the edge count.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns v's sorted adjacency list (not a copy).
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// HasEdge reports whether {u, v} is an edge (binary search).
+func (g *Graph) HasEdge(u, v int) bool {
+	l := g.adj[u]
+	i := sort.Search(len(l), func(k int) bool { return l[k] >= int32(v) })
+	return i < len(l) && l[i] == int32(v)
+}
+
+// IsComplete reports whether the graph is complete — the analytic shortcut
+// case of §3.5 where measures are computed in closed form.
+func (g *Graph) IsComplete() bool {
+	n := g.N()
+	return g.m == n*(n-1)/2
+}
+
+// Degrees returns all vertex degrees.
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.N())
+	for v := range g.adj {
+		d[v] = len(g.adj[v])
+	}
+	return d
+}
+
+// MeanDegree returns the average degree 2m/n.
+func (g *Graph) MeanDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.N())
+}
+
+// ConnectedComponents labels each vertex with a component id (0-based,
+// discovery order) and returns the number of components.
+func (g *Graph) ConnectedComponents() ([]int32, int) {
+	comp := make([]int32, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var queue []int32
+	next := int32(0)
+	for s := 0; s < g.N(); s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, w := range g.adj[v] {
+				if comp[w] == -1 {
+					comp[w] = next
+					queue = append(queue, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp, int(next)
+}
+
+// LargestComponent returns the vertices of the largest connected component.
+func (g *Graph) LargestComponent() []int32 {
+	comp, k := g.ConnectedComponents()
+	sizes := make([]int, k)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c := 1; c < k; c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	out := make([]int32, 0, sizes[best])
+	for v, c := range comp {
+		if int(c) == best {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// CoreNumbers returns the k-core number of every vertex via Matula–Beck
+// bucket peeling in O(n + m).
+func (g *Graph) CoreNumbers() []int {
+	n := g.N()
+	deg := g.Degrees()
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Bucket sort vertices by degree.
+	bin := make([]int, maxDeg+2)
+	for _, d := range deg {
+		bin[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		c := bin[d]
+		bin[d] = start
+		start += c
+	}
+	pos := make([]int, n)
+	vert := make([]int, n)
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = v
+		bin[deg[v]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	core := append([]int(nil), deg...)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		for _, wi := range g.adj[v] {
+			w := int(wi)
+			if core[w] > core[v] {
+				dw := core[w]
+				pw := pos[w]
+				ps := bin[dw]
+				u := vert[ps]
+				if u != w {
+					pos[w] = ps
+					vert[pw] = u
+					pos[u] = pw
+					vert[ps] = w
+				}
+				bin[dw]++
+				core[w]--
+			}
+		}
+	}
+	return core
+}
+
+// Subgraph returns the induced subgraph on the given vertices, relabelled
+// 0..len(vs)-1 in the given order.
+func (g *Graph) Subgraph(vs []int32) *Graph {
+	remap := make(map[int32]int32, len(vs))
+	for i, v := range vs {
+		remap[v] = int32(i)
+	}
+	var edges [][2]int32
+	for i, v := range vs {
+		for _, w := range g.adj[v] {
+			if j, ok := remap[w]; ok && int32(i) < j {
+				edges = append(edges, [2]int32{int32(i), j})
+			}
+		}
+	}
+	return FromEdges(len(vs), edges)
+}

@@ -1,0 +1,92 @@
+package graph
+
+// MeasureFunc is a graph measure γ : Graph → ℝ (§3.1).
+type MeasureFunc func(*Graph) float64
+
+// MeasureNames lists the twelve measures of the Figs 3.19/3.20 runtime
+// sweeps, in their plot order.
+var MeasureNames = []string{
+	"average_clustering",
+	"clique_number",
+	"diameter",
+	"eigenvalues",
+	"largest_connected_component",
+	"mean_average_neighbor_degree",
+	"mean_betweenness_centrality",
+	"mean_core_number",
+	"mean_degree_centrality",
+	"number_connected_components",
+	"number_of_cliques",
+	"triangles",
+}
+
+// cliqueBudget caps Bron–Kerbosch recursion on dense graphs; the paper's
+// tooling has the same practical cutoff (its clique runtimes dwarf all
+// other measures in Fig 3.19).
+const cliqueBudget = 2_000_000
+
+// Measures maps measure names to implementations.
+var Measures = map[string]MeasureFunc{
+	"average_clustering": (*Graph).ClusteringCoefficient,
+	"clique_number": func(g *Graph) float64 {
+		return float64(g.Cliques(cliqueBudget).CliqueNumber)
+	},
+	"diameter": func(g *Graph) float64 { return float64(g.ApproxDiameter()) },
+	"eigenvalues": func(g *Graph) float64 {
+		ev := g.TopEigenvalues(1, 50, 1)
+		if len(ev) == 0 {
+			return 0
+		}
+		return ev[0]
+	},
+	"largest_connected_component": func(g *Graph) float64 {
+		return float64(len(g.LargestComponent()))
+	},
+	"mean_average_neighbor_degree": (*Graph).MeanAvgNeighborDegree,
+	"mean_betweenness_centrality":  (*Graph).MeanBetweenness,
+	"mean_core_number": func(g *Graph) float64 {
+		cores := g.CoreNumbers()
+		var s float64
+		for _, c := range cores {
+			s += float64(c)
+		}
+		if len(cores) == 0 {
+			return 0
+		}
+		return s / float64(len(cores))
+	},
+	"mean_degree_centrality": func(g *Graph) float64 {
+		if g.N() <= 1 {
+			return 0
+		}
+		return g.MeanDegree() / float64(g.N()-1)
+	},
+	"number_connected_components": func(g *Graph) float64 {
+		_, k := g.ConnectedComponents()
+		return float64(k)
+	},
+	"number_of_cliques": func(g *Graph) float64 {
+		return float64(g.Cliques(cliqueBudget).MaximalCount)
+	},
+	"triangles": func(g *Graph) float64 { return float64(g.Triangles()) },
+}
+
+// MeanAvgNeighborDegree returns the mean over vertices of the average degree
+// of their neighbours (isolated vertices contribute 0).
+func (g *Graph) MeanAvgNeighborDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	var total float64
+	for v := 0; v < g.N(); v++ {
+		if len(g.adj[v]) == 0 {
+			continue
+		}
+		var s float64
+		for _, w := range g.adj[v] {
+			s += float64(len(g.adj[w]))
+		}
+		total += s / float64(len(g.adj[v]))
+	}
+	return total / float64(g.N())
+}

@@ -1,0 +1,186 @@
+// Package lsh implements the locality sensitive hashing families PLASMA-HD
+// sketches with: minwise hashing for Jaccard similarity and signed random
+// projections for cosine similarity. Following §2.4, sketches are stored as
+// single concatenated hash sequences (not banded hash tables) so that a
+// candidate pair's similarity can be estimated incrementally by comparing
+// prefixes of the two sketches — the access pattern BayesLSH requires.
+package lsh
+
+import (
+	"math"
+	"math/rand"
+
+	"plasmahd/internal/vec"
+)
+
+// splitmix64 is a fast, well-mixed 64-bit hash used to derive per-hash
+// pseudo-random streams deterministically.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// MinHasher produces K-value minwise signatures whose per-position collision
+// probability equals the Jaccard similarity of the index sets (Eq 4.1).
+type MinHasher struct {
+	K     int
+	seeds []uint64
+}
+
+// NewMinHasher creates a deterministic family of k minwise hash functions.
+func NewMinHasher(k int, seed int64) *MinHasher {
+	m := &MinHasher{K: k, seeds: make([]uint64, k)}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.seeds {
+		m.seeds[i] = rng.Uint64() | 1
+	}
+	return m
+}
+
+// Sketch returns the k minimum hash values of the vector's index set.
+func (m *MinHasher) Sketch(v vec.Sparse) []uint32 {
+	sig := make([]uint32, m.K)
+	for i := range sig {
+		sig[i] = math.MaxUint32
+	}
+	for _, ix := range v.Indices {
+		x := uint64(ix) + 0x9e3779b97f4a7c15
+		for i, s := range m.seeds {
+			h := uint32(splitmix64(x ^ s))
+			if h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+// MatchesU32 counts equal positions among the first n entries of two
+// signatures.
+func MatchesU32(a, b []uint32, n int) int {
+	if n > len(a) {
+		n = len(a)
+	}
+	m := 0
+	for i := 0; i < n; i++ {
+		if a[i] == b[i] {
+			m++
+		}
+	}
+	return m
+}
+
+// SRP produces bit sketches from signed random projections: bit i is the
+// sign of the dot product with a pseudo-random Gaussian direction. Two
+// vectors agree on a bit with probability 1 - θ/π where θ is the angle
+// between them (Goemans-Williamson), the collision model BayesLSH inverts
+// for cosine similarity.
+type SRP struct {
+	Bits int
+	seed uint64
+	dim  int
+	// dirs caches per-dimension Gaussian rows lazily: dirs[d][i] is the
+	// d-th coordinate of direction i. float32 halves the footprint; the
+	// precision is irrelevant next to sampling noise.
+	dirs [][]float32
+}
+
+// NewSRP creates a deterministic signed-random-projection sketcher of the
+// given bit length over vectors of dimension dim.
+func NewSRP(bits, dim int, seed int64) *SRP {
+	return &SRP{Bits: bits, seed: uint64(seed), dim: dim, dirs: make([][]float32, dim)}
+}
+
+// gaussRow generates the cached Gaussian coordinates for dimension d.
+func (s *SRP) gaussRow(d int) []float32 {
+	if row := s.dirs[d]; row != nil {
+		return row
+	}
+	row := make([]float32, s.Bits)
+	// Box-Muller on splitmix64 streams keyed by (seed, dim, bit pair).
+	base := splitmix64(s.seed ^ uint64(d)*0x9e3779b97f4a7c15)
+	for i := 0; i < s.Bits; i += 2 {
+		u1bits := splitmix64(base ^ uint64(i))
+		u2bits := splitmix64(base ^ uint64(i) ^ 0xdeadbeefcafef00d)
+		u1 := (float64(u1bits>>11) + 0.5) / (1 << 53)
+		u2 := (float64(u2bits>>11) + 0.5) / (1 << 53)
+		r := math.Sqrt(-2 * math.Log(u1))
+		row[i] = float32(r * math.Cos(2*math.Pi*u2))
+		if i+1 < s.Bits {
+			row[i+1] = float32(r * math.Sin(2*math.Pi*u2))
+		}
+	}
+	s.dirs[d] = row
+	return row
+}
+
+// Sketch returns the bit-packed signature of v. Vectors sketched by the same
+// SRP are comparable position-wise.
+func (s *SRP) Sketch(v vec.Sparse) []uint64 {
+	words := (s.Bits + 63) / 64
+	acc := make([]float64, s.Bits)
+	for k, ix := range v.Indices {
+		row := s.gaussRow(int(ix))
+		w := v.Values[k]
+		for i := 0; i < s.Bits; i++ {
+			acc[i] += w * float64(row[i])
+		}
+	}
+	sig := make([]uint64, words)
+	for i, a := range acc {
+		if a >= 0 {
+			sig[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return sig
+}
+
+// MatchesPacked counts agreeing bits among the first n positions of two
+// bit-packed signatures.
+func MatchesPacked(a, b []uint64, n int) int {
+	matches := 0
+	full := n / 64
+	for w := 0; w < full; w++ {
+		matches += 64 - popcount(a[w]^b[w])
+	}
+	if rem := n % 64; rem > 0 && full < len(a) {
+		mask := uint64(1)<<uint(rem) - 1
+		diff := (a[full] ^ b[full]) & mask
+		matches += rem - popcount(diff)
+	}
+	return matches
+}
+
+func popcount(x uint64) int {
+	// math/bits is stdlib but keeping an explicit SWAR popcount documents
+	// the hot path; identical performance after inlining.
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}
+
+// CosineToCollision maps a cosine similarity to the SRP per-bit collision
+// probability p = 1 - arccos(s)/π.
+func CosineToCollision(s float64) float64 {
+	if s > 1 {
+		s = 1
+	}
+	if s < -1 {
+		s = -1
+	}
+	return 1 - math.Acos(s)/math.Pi
+}
+
+// CollisionToCosine inverts CosineToCollision: s = cos(π(1-p)).
+func CollisionToCosine(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return math.Cos(math.Pi * (1 - p))
+}

@@ -1,0 +1,175 @@
+package lsh
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"plasmahd/internal/vec"
+)
+
+func randSet(rng *rand.Rand, dim, size int) vec.Sparse {
+	m := map[int32]float64{}
+	for len(m) < size {
+		m[int32(rng.Intn(dim))] = 1
+	}
+	return vec.FromMap(m)
+}
+
+func TestMinHashUnbiased(t *testing.T) {
+	// The match fraction must estimate the Jaccard similarity (Eq 4.1).
+	rng := rand.New(rand.NewSource(5))
+	mh := NewMinHasher(2048, 17)
+	for trial := 0; trial < 5; trial++ {
+		a := randSet(rng, 200, 30)
+		b := randSet(rng, 200, 30)
+		truth := vec.Jaccard(a, b)
+		sa, sb := mh.Sketch(a), mh.Sketch(b)
+		est := float64(MatchesU32(sa, sb, 2048)) / 2048
+		if math.Abs(est-truth) > 0.05 {
+			t.Errorf("trial %d: minhash estimate %v vs true %v", trial, est, truth)
+		}
+	}
+}
+
+func TestMinHashIdentical(t *testing.T) {
+	mh := NewMinHasher(64, 3)
+	v := randSet(rand.New(rand.NewSource(1)), 100, 10)
+	a := mh.Sketch(v)
+	b := mh.Sketch(v)
+	if MatchesU32(a, b, 64) != 64 {
+		t.Error("identical sets must match on every hash")
+	}
+}
+
+func TestMinHashDeterministicAcrossInstances(t *testing.T) {
+	v := randSet(rand.New(rand.NewSource(2)), 100, 10)
+	a := NewMinHasher(32, 9).Sketch(v)
+	b := NewMinHasher(32, 9).Sketch(v)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give same sketches")
+		}
+	}
+}
+
+func TestSRPUnbiased(t *testing.T) {
+	// Bit agreement fraction must estimate 1 - θ/π.
+	rng := rand.New(rand.NewSource(7))
+	dim := 50
+	srp := NewSRP(4096, dim, 23)
+	for trial := 0; trial < 5; trial++ {
+		a := denseRand(rng, dim)
+		b := denseRand(rng, dim)
+		truth := CosineToCollision(vec.Cosine(a, b))
+		sa, sb := srp.Sketch(a), srp.Sketch(b)
+		est := float64(MatchesPacked(sa, sb, 4096)) / 4096
+		if math.Abs(est-truth) > 0.04 {
+			t.Errorf("trial %d: srp estimate %v vs true %v", trial, est, truth)
+		}
+	}
+}
+
+func denseRand(rng *rand.Rand, dim int) vec.Sparse {
+	row := make([]float64, dim)
+	for i := range row {
+		row[i] = rng.NormFloat64()
+	}
+	return vec.FromDense(row)
+}
+
+func TestSRPSelfMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	srp := NewSRP(256, 20, 1)
+	v := denseRand(rng, 20)
+	s := srp.Sketch(v)
+	if MatchesPacked(s, s, 256) != 256 {
+		t.Error("self sketch must fully match")
+	}
+	// Negated vector must disagree on every bit.
+	neg := vec.Sparse{Indices: v.Indices, Values: make([]float64, len(v.Values))}
+	for i, x := range v.Values {
+		neg.Values[i] = -x
+	}
+	sn := srp.Sketch(neg)
+	if MatchesPacked(s, sn, 256) != 0 {
+		t.Error("negated vector must fully mismatch")
+	}
+}
+
+func TestMatchesPackedPrefix(t *testing.T) {
+	a := []uint64{^uint64(0), ^uint64(0)}
+	b := []uint64{0, 0}
+	if got := MatchesPacked(a, b, 70); got != 0 {
+		t.Errorf("all-different prefix: %d matches", got)
+	}
+	if got := MatchesPacked(a, a, 70); got != 70 {
+		t.Errorf("identical prefix: %d matches, want 70", got)
+	}
+	if got := MatchesPacked(a, a, 64); got != 64 {
+		t.Errorf("exact word prefix: %d", got)
+	}
+	// Single differing bit inside the partial word.
+	c := []uint64{0, 1}
+	d := []uint64{0, 0}
+	if got := MatchesPacked(c, d, 66); got != 65 {
+		t.Errorf("partial word: %d matches, want 65", got)
+	}
+}
+
+func TestMatchesU32Prefix(t *testing.T) {
+	a := []uint32{1, 2, 3, 4}
+	b := []uint32{1, 9, 3, 9}
+	if MatchesU32(a, b, 4) != 2 {
+		t.Error("full compare")
+	}
+	if MatchesU32(a, b, 1) != 1 {
+		t.Error("prefix compare")
+	}
+	if MatchesU32(a, b, 100) != 2 {
+		t.Error("overlong n must clamp")
+	}
+}
+
+func TestPopcountMatchesStdlib(t *testing.T) {
+	f := func(x uint64) bool { return popcount(x) == bits.OnesCount64(x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineCollisionRoundTrip(t *testing.T) {
+	for _, s := range []float64{-1, -0.5, 0, 0.3, 0.7, 0.95, 1} {
+		p := CosineToCollision(s)
+		if p < 0 || p > 1 {
+			t.Errorf("collision prob %v out of range for s=%v", p, s)
+		}
+		back := CollisionToCosine(p)
+		if math.Abs(back-s) > 1e-9 {
+			t.Errorf("round trip s=%v -> %v", s, back)
+		}
+	}
+	// Clamping.
+	if CosineToCollision(2) != 1 {
+		t.Error("clamp high")
+	}
+	if CollisionToCosine(-0.5) != CollisionToCosine(0) {
+		t.Error("clamp low")
+	}
+}
+
+func TestCollisionMapMonotoneProperty(t *testing.T) {
+	f := func(ar, br uint16) bool {
+		a := float64(ar%2001)/1000 - 1
+		b := float64(br%2001)/1000 - 1
+		if a > b {
+			a, b = b, a
+		}
+		return CosineToCollision(a) <= CosineToCollision(b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

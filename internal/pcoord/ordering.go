@@ -1,0 +1,169 @@
+package pcoord
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// OrderMST returns the 2-approximate minimum-crossing dimension ordering of
+// §5.2.2: build the minimum spanning tree of the complete crossing-weight
+// graph (Prim) and emit its preorder walk — the classic metric-TSP/
+// Hamiltonian-path approximation.
+func OrderMST(m [][]int64) []int {
+	d := len(m)
+	if d == 0 {
+		return nil
+	}
+	inTree := make([]bool, d)
+	parent := make([]int, d)
+	best := make([]int64, d)
+	for i := range best {
+		best[i] = math.MaxInt64
+		parent[i] = -1
+	}
+	best[0] = 0
+	for range m {
+		// Cheapest vertex not yet in the tree.
+		v := -1
+		for u := 0; u < d; u++ {
+			if !inTree[u] && (v == -1 || best[u] < best[v]) {
+				v = u
+			}
+		}
+		inTree[v] = true
+		for u := 0; u < d; u++ {
+			if !inTree[u] && m[v][u] < best[u] {
+				best[u] = m[v][u]
+				parent[u] = v
+			}
+		}
+	}
+	children := make([][]int, d)
+	for v := 1; v < d; v++ {
+		children[parent[v]] = append(children[parent[v]], v)
+	}
+	for v := range children {
+		// Visit cheap edges first for a slightly better walk.
+		sort.Slice(children[v], func(a, b int) bool {
+			return m[v][children[v][a]] < m[v][children[v][b]]
+		})
+	}
+	order := make([]int, 0, d)
+	var walk func(v int)
+	walk = func(v int) {
+		order = append(order, v)
+		for _, c := range children[v] {
+			walk(c)
+		}
+	}
+	walk(0)
+	return order
+}
+
+// MaxExactDims bounds the Held-Karp exact ordering; beyond this the search
+// space (2^d · d²) is impractical and callers should use OrderMST.
+const MaxExactDims = 16
+
+// OrderExact returns the exact minimum-weight Hamiltonian path ordering by
+// Held-Karp dynamic programming over subsets (free endpoints). It returns
+// nil when d exceeds MaxExactDims.
+func OrderExact(m [][]int64) []int {
+	d := len(m)
+	if d == 0 || d > MaxExactDims {
+		return nil
+	}
+	if d == 1 {
+		return []int{0}
+	}
+	size := 1 << d
+	const inf = math.MaxInt64 / 4
+	dp := make([][]int64, size)
+	from := make([][]int8, size)
+	for s := range dp {
+		dp[s] = make([]int64, d)
+		from[s] = make([]int8, d)
+		for v := range dp[s] {
+			dp[s][v] = inf
+			from[s][v] = -1
+		}
+	}
+	for v := 0; v < d; v++ {
+		dp[1<<v][v] = 0
+	}
+	for s := 1; s < size; s++ {
+		for last := 0; last < d; last++ {
+			if s&(1<<last) == 0 || dp[s][last] >= inf {
+				continue
+			}
+			for next := 0; next < d; next++ {
+				if s&(1<<next) != 0 {
+					continue
+				}
+				ns := s | 1<<next
+				if cand := dp[s][last] + m[last][next]; cand < dp[ns][next] {
+					dp[ns][next] = cand
+					from[ns][next] = int8(last)
+				}
+			}
+		}
+	}
+	full := size - 1
+	bestEnd, bestCost := 0, int64(inf)
+	for v := 0; v < d; v++ {
+		if dp[full][v] < bestCost {
+			bestCost = dp[full][v]
+			bestEnd = v
+		}
+	}
+	order := make([]int, 0, d)
+	s, v := full, bestEnd
+	for v != -1 {
+		order = append(order, v)
+		pv := from[s][v]
+		s ^= 1 << v
+		v = int(pv)
+	}
+	// Reverse into path order.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// OrderingComparison is one row of Table 5.2: approximate vs exact ordering
+// cost and runtime.
+type OrderingComparison struct {
+	ApproxOrder, ExactOrder []int
+	ApproxCross, ExactCross int64
+	ApproxTime, ExactTime   time.Duration
+	OriginalCross           int64 // identity ordering
+	MatrixTime              time.Duration
+}
+
+// CompareOrderings computes the crossing matrix and both orderings with
+// timings. ExactOrder is nil when the dimension exceeds MaxExactDims.
+func CompareOrderings(data [][]float64) *OrderingComparison {
+	t0 := time.Now()
+	m := CrossingMatrix(data)
+	out := &OrderingComparison{MatrixTime: time.Since(t0)}
+	d := len(m)
+	ident := make([]int, d)
+	for i := range ident {
+		ident[i] = i
+	}
+	out.OriginalCross = TotalCrossings(ident, m)
+
+	t1 := time.Now()
+	out.ApproxOrder = OrderMST(m)
+	out.ApproxTime = time.Since(t1)
+	out.ApproxCross = TotalCrossings(out.ApproxOrder, m)
+
+	if d <= MaxExactDims {
+		t2 := time.Now()
+		out.ExactOrder = OrderExact(m)
+		out.ExactTime = time.Since(t2)
+		out.ExactCross = TotalCrossings(out.ExactOrder, m)
+	}
+	return out
+}
