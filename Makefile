@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test short race bench bench-workers ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# short skips the seconds-long experiment sweeps but still smoke-runs every
+# experiment ID at reduced scale.
+short:
+	$(GO) test -short ./...
+
+# race covers the concurrent probe engine and session layer, the packages
+# with shared mutable state.
+race:
+	$(GO) test -race ./internal/bayeslsh ./internal/core
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# bench-workers isolates the Search worker-pool speedup.
+bench-workers:
+	$(GO) test -run xxx -bench 'BenchmarkSearchWorkers[0-9]+$$' -benchmem ./internal/bayeslsh
+
+ci: vet build short race

@@ -22,8 +22,9 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
+	opt := experiments.Options{Scale: benchScale, Seed: 1}
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard, benchScale, 1); err != nil {
+		if err := e.Run(io.Discard, opt); err != nil {
 			b.Fatal(err)
 		}
 	}

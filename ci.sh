@@ -1,0 +1,25 @@
+#!/bin/sh
+# ci.sh — the tiered verification gate. The tier definitions live in the
+# Makefile; this script just sequences them so CI and developers run the
+# same commands.
+#
+# Tier 1 (fast): vet + build + short tests, which still smoke-run every
+# experiment ID at reduced scale.
+# Tier 2 (race): race-detector pass over the concurrent engine and session
+# packages.
+# Tier 3 (full, optional via CI_FULL=1): the complete test suite including
+# the seconds-long experiment sweeps.
+set -eu
+
+echo "== tier 1: vet + build + short tests =="
+make vet build short
+
+echo "== tier 2: race detector on concurrent packages =="
+make race
+
+if [ "${CI_FULL:-0}" = "1" ]; then
+    echo "== tier 3: full test suite =="
+    make test
+fi
+
+echo "ci: all tiers passed"

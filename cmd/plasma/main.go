@@ -51,9 +51,10 @@ func loadDataset(name string, rows int, seed int64) (*vec.Dataset, error) {
 
 func main() {
 	var (
-		data = flag.String("data", "wine", "dataset name")
-		rows = flag.Int("rows", 0, "cap dataset rows (0 = full)")
-		seed = flag.Int64("seed", 1, "generator seed")
+		data    = flag.String("data", "wine", "dataset name")
+		rows    = flag.Int("rows", 0, "cap dataset rows (0 = full)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		workers = flag.Int("workers", 0, "probe-engine worker count (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -64,7 +65,9 @@ func main() {
 	}
 	fmt.Printf("PLASMA-HD: %s (%d rows, dim %d, %s similarity)\n",
 		ds.Name, ds.N(), ds.Dim, ds.Measure)
-	session := core.NewSession(ds, bayeslsh.DefaultParams(), *seed)
+	params := bayeslsh.DefaultParams()
+	params.Workers = *workers
+	session := core.NewSession(ds, params, *seed)
 	fmt.Printf("sketches built in %v — type 'help' for commands\n",
 		session.SketchTime().Round(time.Millisecond))
 
@@ -144,7 +147,7 @@ func main() {
 			fmt.Printf("density profile (top cores): %v\n", top)
 		case "stats":
 			fmt.Printf("probes: %d, cached pairs: %d, sketch time %v, processing %v\n",
-				len(session.Probes), len(session.Cache.Pairs),
+				session.ProbeCount(), session.Cache.Pairs.Len(),
 				session.SketchTime().Round(time.Millisecond),
 				session.ProcessTime().Round(time.Millisecond))
 		default:

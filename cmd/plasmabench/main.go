@@ -22,13 +22,15 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id to run (e.g. E4.9)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiments")
-		scale = flag.Int("scale", 0, "cap dataset sizes (0 = default scale)")
-		seed  = flag.Int64("seed", 1, "generator seed")
+		exp     = flag.String("exp", "", "experiment id to run (e.g. E4.9)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments")
+		scale   = flag.Int("scale", 0, "cap dataset sizes (0 = default scale)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		workers = flag.Int("workers", 0, "probe-engine worker count (0 = all cores)")
 	)
 	flag.Parse()
+	opt := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
 
 	switch {
 	case *list:
@@ -39,7 +41,7 @@ func main() {
 		for _, e := range experiments.All() {
 			fmt.Printf("==== %s — %s ====\n", e.ID, e.Paper)
 			start := time.Now()
-			if err := e.Run(os.Stdout, *scale, *seed); err != nil {
+			if err := e.Run(os.Stdout, opt); err != nil {
 				fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 				os.Exit(1)
 			}
@@ -52,7 +54,7 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("==== %s — %s ====\n", e.ID, e.Paper)
-		if err := e.Run(os.Stdout, *scale, *seed); err != nil {
+		if err := e.Run(os.Stdout, opt); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}

@@ -13,6 +13,35 @@
 // paper's evaluation, and examples/ holds runnable walkthroughs. See
 // DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record.
+//
+// # Concurrency model
+//
+// The probe hot path is parallel end to end. bayeslsh.Search keeps
+// candidate generation sequential (the inverted index grows row by row)
+// but shards candidate evaluation — the hash-comparison, prune, and
+// estimate loop — across a worker pool sized by bayeslsh.Params.Workers
+// (0 = runtime.GOMAXPROCS). Outcomes are merged back in generation order,
+// so a probe returns byte-identical pair sets and cost counters for any
+// worker count; only wall time changes. Both CLIs expose the knob as
+// -workers.
+//
+// What is safe to share: a bayeslsh.Cache (and therefore a core.Session)
+// may serve concurrent probes. The dataset sketches and decision tables
+// are immutable after construction, and the memoized pair states live in
+// a PairStore striped across independently locked shards. Writes to the
+// store are monotone — when two probes race on the same pair, the state
+// carrying more evidence (exact > done > more hashes) wins — so
+// concurrency can only deepen the knowledge cache, never corrupt or
+// regress it. Cross-probe determinism is the one thing given up: a probe
+// that overlaps a deeper probe may inherit extra evidence a serial
+// schedule would not have had, which can only tighten its estimates.
+//
+// Session-level sweeps fan out with the same worker setting: the
+// cumulative APSS curve and incremental snapshots aggregate the pair
+// store stripe-by-stripe in parallel. The uncached baseline arms of
+// KnowledgeCachingWorkload and RunInteractiveScenario deliberately stay
+// sequential on identical engine settings so their timing columns compare
+// like for like with the cached arm.
 package plasmahd
 
 // Version identifies this reproduction.

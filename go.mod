@@ -1,0 +1,3 @@
+module plasmahd
+
+go 1.24

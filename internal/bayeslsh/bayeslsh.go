@@ -11,7 +11,10 @@ package bayeslsh
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"plasmahd/internal/lsh"
@@ -42,6 +45,19 @@ type Params struct {
 	// stays exact above the probed threshold and uncertain below it — the
 	// Fig 2.3/2.4 asymmetry.
 	Lite bool
+	// Workers sets the candidate-evaluation parallelism of Search and the
+	// fan-out width of the session-level grid sweeps. 0 or negative means
+	// runtime.GOMAXPROCS(0). Results are deterministic for any value: the
+	// same probe returns byte-identical pairs with 1 worker or 64.
+	Workers int
+}
+
+// WorkerCount resolves Workers to a concrete pool size.
+func (p Params) WorkerCount() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultParams returns the parameter set used throughout the experiments.
@@ -77,6 +93,11 @@ func UnpackKey(k uint64) (int32, int32) {
 
 // Cache is PLASMA-HD's knowledge cache (§2.2.1): the dataset sketches plus
 // the memoized per-pair hash-comparison states accumulated across probes.
+//
+// A Cache is safe for concurrent probes: the pair table is a striped
+// PairStore with monotone writes, the concentration table is precomputed at
+// construction, and the per-threshold prune bounds are built under a lock.
+// The sketches themselves are immutable after NewCache.
 type Cache struct {
 	Params  Params
 	Measure vec.Measure
@@ -86,7 +107,7 @@ type Cache struct {
 	srpSigs [][]uint64
 
 	// Pairs memoizes evidence for every candidate pair ever evaluated.
-	Pairs map[uint64]PairState
+	Pairs *PairStore
 
 	// SketchTime is the start-up cost of building the initial sketches
 	// (the Fig 2.9 quantity); it is paid once per dataset.
@@ -94,9 +115,11 @@ type Cache struct {
 
 	// conc[k] marks (m at schedule point k) combinations whose posterior is
 	// concentrated within Delta (threshold-independent decision table).
+	// Precomputed in NewCache so probe workers share it read-only.
 	conc [][]bool
 	// pruneMax caches, per threshold, the largest m at each schedule point
-	// for which Eq 2.1 still prunes.
+	// for which Eq 2.1 still prunes; pruneMu guards it across probes.
+	pruneMu  sync.Mutex
 	pruneMax map[float64][]int32
 }
 
@@ -108,7 +131,7 @@ func NewCache(ds *vec.Dataset, p Params, seed int64) *Cache {
 		Params:   p,
 		Measure:  ds.Measure,
 		N:        ds.N(),
-		Pairs:    make(map[uint64]PairState),
+		Pairs:    NewPairStore(),
 		pruneMax: make(map[float64][]int32),
 		conc:     make([][]bool, p.schedulePoints()),
 	}
@@ -125,6 +148,9 @@ func NewCache(ds *vec.Dataset, p Params, seed int64) *Cache {
 		for i, r := range ds.Rows {
 			c.srpSigs[i] = srp.Sketch(r)
 		}
+	}
+	for k := range c.conc {
+		c.conc[k] = c.buildConcRow(k)
 	}
 	c.SketchTime = time.Since(start)
 	return c
@@ -188,25 +214,29 @@ func (c *Cache) ProbAbove(ps PairState, t float64) float64 {
 	return stats.NewBetaPosterior(int(ps.M), int(ps.N)).Tail(c.simToCollision(t))
 }
 
+// buildConcRow computes the Eq 2.2 stopping decisions for schedule point k
+// (n = (k+1)*Step): row[m] is true when the posterior after m of n matches
+// is concentrated within Delta.
+func (c *Cache) buildConcRow(k int) []bool {
+	n := (k + 1) * c.Params.Step
+	if n > c.Params.MaxHashes {
+		n = c.Params.MaxHashes
+	}
+	row := make([]bool, n+1)
+	for mm := 0; mm <= n; mm++ {
+		post := stats.NewBetaPosterior(mm, n)
+		sHat := c.collisionToSim(post.MAP())
+		lo := c.simToCollision(sHat - c.Params.Delta)
+		hi := c.simToCollision(sHat + c.Params.Delta)
+		row[mm] = post.CDF(hi)-post.CDF(lo) > 1-c.Params.Gamma
+	}
+	return row
+}
+
 // concentrated reports whether the Eq 2.2 stopping rule fires at schedule
-// point k (n = (k+1)*Step) with m matches, via a lazily built table.
+// point k with m matches, via the precomputed decision table.
 func (c *Cache) concentrated(k, m int) bool {
 	row := c.conc[k]
-	if row == nil {
-		n := (k + 1) * c.Params.Step
-		if n > c.Params.MaxHashes {
-			n = c.Params.MaxHashes
-		}
-		row = make([]bool, n+1)
-		for mm := 0; mm <= n; mm++ {
-			post := stats.NewBetaPosterior(mm, n)
-			sHat := c.collisionToSim(post.MAP())
-			lo := c.simToCollision(sHat - c.Params.Delta)
-			hi := c.simToCollision(sHat + c.Params.Delta)
-			row[mm] = post.CDF(hi)-post.CDF(lo) > 1-c.Params.Gamma
-		}
-		c.conc[k] = row
-	}
 	if m >= len(row) {
 		m = len(row) - 1
 	}
@@ -217,6 +247,8 @@ func (c *Cache) concentrated(k, m int) bool {
 // which P(S >= t | m, n) < epsilon, so the comparison loop prunes with a
 // single integer compare.
 func (c *Cache) pruneBound(t float64) []int32 {
+	c.pruneMu.Lock()
+	defer c.pruneMu.Unlock()
 	if b, ok := c.pruneMax[t]; ok {
 		return b
 	}
@@ -266,10 +298,123 @@ type Result struct {
 // the incremental-approximation experiments (Figs 2.6-2.8).
 type ProgressFunc func(rowsProcessed, totalRows, pairsAbove int)
 
+// candidate is one (j, i) pair (j < i) produced by the inverted index.
+type candidate struct{ j, i int32 }
+
+// candOutcome is the evaluation result of one candidate, computed by a
+// worker and merged into the Result on the search goroutine.
+type candOutcome struct {
+	state    PairState
+	hashes   int64
+	cacheHit bool
+	pruned   bool
+	emit     bool
+	est      float64
+}
+
+// evalCandidate resumes the incremental hash comparison for one candidate
+// pair against the prune bound of threshold t, writes the extended state
+// back to the pair store, and reports what happened. It is a pure function
+// of the pair's stored state plus the immutable sketches and decision
+// tables, so evaluating candidates in any order or on any number of workers
+// yields identical outcomes.
+func (c *Cache) evalCandidate(ds *vec.Dataset, cd candidate, t float64, bound []int32) candOutcome {
+	p := c.Params
+	key := PairKey(cd.j, cd.i)
+	ps, _ := c.Pairs.Get(key)
+	var out candOutcome
+	if ps.Done {
+		out.cacheHit = true
+	} else {
+		for !ps.Done {
+			if int(ps.N) >= p.MaxHashes {
+				// Sketch exhausted on an earlier probe (pruned at
+				// the final schedule point): evidence is complete.
+				ps.Done = true
+				break
+			}
+			k := int(ps.N) / p.Step // next schedule point
+			n := (k + 1) * p.Step
+			if n > p.MaxHashes {
+				n = p.MaxHashes
+			}
+			ps.M = int32(c.matches(cd.j, cd.i, n))
+			out.hashes += int64(n - int(ps.N))
+			ps.N = int32(n)
+			if ps.M <= bound[k] {
+				out.pruned = true // Eq 2.1: almost surely below t
+				break
+			}
+			if c.concentrated(k, int(ps.M)) || n == p.MaxHashes {
+				ps.Done = true // Eq 2.2 or sketch exhausted
+			}
+		}
+		if ps.Done && !ps.HasExact && p.Lite {
+			// BayesLSH-Lite: verify survivors exactly.
+			ps.Exact = float32(ds.Similarity(int(cd.j), int(cd.i)))
+			ps.HasExact = true
+		}
+		c.Pairs.Update(key, ps)
+	}
+	out.state = ps
+	if ps.Done {
+		if est := c.Estimate(ps); est >= t {
+			out.emit, out.est = true, est
+		}
+	}
+	return out
+}
+
+// evalBatch evaluates cands[idx] into outs[idx] on the given number of
+// workers. Work is handed out in fixed-size chunks from an atomic cursor;
+// since each outcome lands at its candidate's index, the result is
+// independent of scheduling.
+func (c *Cache) evalBatch(ds *vec.Dataset, cands []candidate, outs []candOutcome, t float64, bound []int32, workers int) {
+	const chunk = 64
+	if workers > len(cands)/chunk {
+		workers = len(cands) / chunk
+	}
+	if workers <= 1 {
+		for idx, cd := range cands {
+			outs[idx] = c.evalCandidate(ds, cd, t, bound)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= len(cands) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(cands) {
+					hi = len(cands)
+				}
+				for idx := lo; idx < hi; idx++ {
+					outs[idx] = c.evalCandidate(ds, cands[idx], t, bound)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // Search runs an all-pairs similarity probe at threshold t, reusing and
 // extending the knowledge cache. Rows are processed in index order; the
 // inverted index grows incrementally so that after processing k rows all
 // pairs within the first k rows have been decided.
+//
+// Candidate generation stays sequential (the inverted index grows row by
+// row) but candidate evaluation — the hash-comparison hot path — is sharded
+// across Params.Workers goroutines in batches, then merged back in
+// generation order. Results are byte-identical for every worker count;
+// progress callbacks fire once per row, in order, after the batch covering
+// that row has been merged.
 func Search(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc) (*Result, error) {
 	if ds.N() != c.N {
 		return nil, fmt.Errorf("bayeslsh: cache built for %d rows, dataset has %d", c.N, ds.N())
@@ -278,6 +423,7 @@ func Search(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc) (*Resul
 	start := time.Now()
 	res := &Result{Threshold: t}
 	bound := c.pruneBound(t)
+	workers := p.WorkerCount()
 
 	maxDF := int(p.MaxDFFrac * float64(ds.N()))
 	if maxDF < 2 {
@@ -292,15 +438,52 @@ func Search(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc) (*Resul
 	}
 	postings := make(map[int32][]int32, ds.Dim)
 	df := make(map[int32]int, ds.Dim)
-	seen := make([]int32, 0, 256) // candidate j's for the current row
 	mark := make([]int32, ds.N())
 	for i := range mark {
 		mark[i] = -1
 	}
 
+	// Candidates are buffered with per-row boundaries and flushed in
+	// batches: evaluate in parallel, then merge sequentially so counters,
+	// emitted pairs, and progress calls are in generation order.
+	batchSize := 1024 * workers
+	type rowMark struct{ row, end int }
+	var (
+		cands []candidate
+		marks []rowMark
+		outs  []candOutcome
+	)
+	flush := func() {
+		if len(outs) < len(cands) {
+			outs = make([]candOutcome, len(cands))
+		}
+		c.evalBatch(ds, cands, outs[:len(cands)], t, bound, workers)
+		done := 0
+		for _, mk := range marks {
+			for ; done < mk.end; done++ {
+				oc := &outs[done]
+				if oc.cacheHit {
+					res.CacheHits++
+				} else {
+					res.Candidates++
+					res.HashesCompared += oc.hashes
+					if oc.pruned {
+						res.Pruned++
+					}
+				}
+				if oc.emit {
+					res.Pairs = append(res.Pairs, Pair{I: cands[done].j, J: cands[done].i, Est: oc.est})
+				}
+			}
+			if progress != nil {
+				progress(mk.row+1, ds.N(), len(res.Pairs))
+			}
+		}
+		cands, marks = cands[:0], marks[:0]
+	}
+
 	for i := 0; i < ds.N(); i++ {
 		row := ds.Rows[i]
-		seen = seen[:0]
 		for _, ix := range row.Indices {
 			if df[ix] > maxDF {
 				continue
@@ -308,54 +491,7 @@ func Search(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc) (*Resul
 			for _, j := range postings[ix] {
 				if mark[j] != int32(i) {
 					mark[j] = int32(i)
-					seen = append(seen, j)
-				}
-			}
-		}
-		for _, j := range seen {
-			key := PairKey(j, int32(i))
-			ps := c.Pairs[key]
-			if ps.Done {
-				res.CacheHits++
-			} else {
-				prunedNow := false
-				for !ps.Done {
-					if int(ps.N) >= p.MaxHashes {
-						// Sketch exhausted on an earlier probe (pruned at
-						// the final schedule point): evidence is complete.
-						ps.Done = true
-						break
-					}
-					k := int(ps.N) / p.Step // next schedule point
-					n := (k + 1) * p.Step
-					if n > p.MaxHashes {
-						n = p.MaxHashes
-					}
-					ps.M = int32(c.matches(j, int32(i), n))
-					res.HashesCompared += int64(n - int(ps.N))
-					ps.N = int32(n)
-					if ps.M <= bound[k] {
-						prunedNow = true // Eq 2.1: almost surely below t
-						break
-					}
-					if c.concentrated(k, int(ps.M)) || n == p.MaxHashes {
-						ps.Done = true // Eq 2.2 or sketch exhausted
-					}
-				}
-				if ps.Done && !ps.HasExact && p.Lite {
-					// BayesLSH-Lite: verify survivors exactly.
-					ps.Exact = float32(ds.Similarity(int(j), i))
-					ps.HasExact = true
-				}
-				c.Pairs[key] = ps
-				res.Candidates++
-				if prunedNow {
-					res.Pruned++
-				}
-			}
-			if ps.Done {
-				if est := c.Estimate(ps); est >= t {
-					res.Pairs = append(res.Pairs, Pair{I: j, J: int32(i), Est: est})
+					cands = append(cands, candidate{j: j, i: int32(i)})
 				}
 			}
 		}
@@ -366,10 +502,12 @@ func Search(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc) (*Resul
 				postings[ix] = append(postings[ix], int32(i))
 			}
 		}
-		if progress != nil {
-			progress(i+1, ds.N(), len(res.Pairs))
+		marks = append(marks, rowMark{row: i, end: len(cands)})
+		if len(cands) >= batchSize {
+			flush()
 		}
 	}
+	flush()
 	sort.Slice(res.Pairs, func(a, b int) bool {
 		if res.Pairs[a].I != res.Pairs[b].I {
 			return res.Pairs[a].I < res.Pairs[b].I

@@ -242,11 +242,12 @@ func TestPrunedPairsAreResumable(t *testing.T) {
 		t.Fatal(err)
 	}
 	partial := 0
-	for _, ps := range c.Pairs {
+	c.Pairs.Range(func(_ uint64, ps PairState) bool {
 		if !ps.Done && ps.N > 0 && int(ps.N) < c.Params.MaxHashes {
 			partial++
 		}
-	}
+		return true
+	})
 	if partial == 0 {
 		t.Error("expected some pruned-but-resumable pair states")
 	}

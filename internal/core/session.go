@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"plasmahd/internal/bayeslsh"
@@ -20,10 +22,19 @@ import (
 
 // Session is one PLASMA-HD exploration of a dataset: the workflow loop of
 // Fig 2.1 (probe at t1 → inspect estimates and cues → choose next t).
+//
+// A Session is safe for concurrent use: Probe calls may overlap (they share
+// the knowledge cache, whose pair evidence only grows under concurrency)
+// and the curve/cue readers may run while probes are in flight. Determinism
+// is per probe: a single probe returns identical results for any worker
+// count, while overlapping probes may leave the cache with more evidence
+// than a serial schedule would — never less.
 type Session struct {
-	DS     *vec.Dataset
-	Cache  *bayeslsh.Cache
-	Probes []ProbeRecord
+	DS    *vec.Dataset
+	Cache *bayeslsh.Cache
+
+	mu     sync.Mutex // guards probes
+	probes []ProbeRecord
 }
 
 // ProbeRecord is one executed probe.
@@ -50,8 +61,25 @@ func (s *Session) ProbeWithProgress(t float64, progress bayeslsh.ProgressFunc) (
 	if err != nil {
 		return nil, err
 	}
-	s.Probes = append(s.Probes, ProbeRecord{Threshold: t, Result: res})
+	s.mu.Lock()
+	s.probes = append(s.probes, ProbeRecord{Threshold: t, Result: res})
+	s.mu.Unlock()
 	return res, nil
+}
+
+// ProbeCount returns the number of completed probes.
+func (s *Session) ProbeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.probes)
+}
+
+// ProbeRecords returns a snapshot of the completed probes, safe to read
+// while further probes are in flight.
+func (s *Session) ProbeRecords() []ProbeRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]ProbeRecord(nil), s.probes...)
 }
 
 // CurvePoint is one point of the cumulative APSS graph: the expected number
@@ -73,17 +101,63 @@ func (s *Session) CumulativeAPSS(grid []float64) []CurvePoint {
 	for k, t := range grid {
 		points[k].Threshold = t
 	}
-	for _, ps := range s.Cache.Pairs {
-		for k, t := range grid {
-			p := s.Cache.ProbAbove(ps, t)
-			points[k].Estimate += p
-			points[k].ErrBar += p * (1 - p)
+	// Fan out over the pair store's stripes; partial sums are kept per
+	// stripe and reduced in stripe order so the float accumulation order
+	// does not depend on the worker count.
+	type partial struct{ est, varsum []float64 }
+	store := s.Cache.Pairs
+	partials := make([]partial, store.Shards())
+	eachShard(store.Shards(), s.Cache.Params.WorkerCount(), func(sh int) {
+		est := make([]float64, len(grid))
+		varsum := make([]float64, len(grid))
+		store.RangeShard(sh, func(_ uint64, ps bayeslsh.PairState) {
+			for k, t := range grid {
+				p := s.Cache.ProbAbove(ps, t)
+				est[k] += p
+				varsum[k] += p * (1 - p)
+			}
+		})
+		partials[sh] = partial{est, varsum}
+	})
+	for _, pt := range partials {
+		for k := range grid {
+			points[k].Estimate += pt.est[k]
+			points[k].ErrBar += pt.varsum[k]
 		}
 	}
 	for k := range points {
 		points[k].ErrBar = math.Sqrt(points[k].ErrBar)
 	}
 	return points
+}
+
+// eachShard runs f(0..shards-1) on up to workers goroutines.
+func eachShard(shards, workers int, f func(shard int)) {
+	if workers <= 1 {
+		for sh := 0; sh < shards; sh++ {
+			f(sh)
+		}
+		return
+	}
+	if workers > shards {
+		workers = shards
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				sh := int(next.Add(1)) - 1
+				if sh >= shards {
+					return
+				}
+				f(sh)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // ThresholdGrid returns an inclusive uniform grid over [lo, hi].
@@ -129,12 +203,13 @@ func FindKnee(curve []CurvePoint) float64 {
 // pairs never examined contribute no edge.
 func (s *Session) ThresholdGraph(t float64) *graph.Graph {
 	var edges [][2]int32
-	for key, ps := range s.Cache.Pairs {
+	s.Cache.Pairs.Range(func(key uint64, ps bayeslsh.PairState) bool {
 		if s.Cache.Estimate(ps) >= t {
 			i, j := bayeslsh.UnpackKey(key)
 			edges = append(edges, [2]int32{i, j})
 		}
-	}
+		return true
+	})
 	return graph.FromEdges(s.DS.N(), edges)
 }
 
@@ -175,8 +250,10 @@ func (s *Session) SketchTime() time.Duration { return s.Cache.SketchTime }
 
 // ProcessTime reports the total probe processing time so far.
 func (s *Session) ProcessTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var t time.Duration
-	for _, p := range s.Probes {
+	for _, p := range s.probes {
 		t += p.Result.ProcessTime
 	}
 	return t
@@ -247,13 +324,27 @@ func (s *Session) ProbeIncremental(t1 float64, targets []float64, snapshots int)
 			Estimates:        make(map[float64]float64, len(targets)),
 		}
 		scale := float64(total) * float64(total-1) / (float64(rows) * float64(rows-1))
-		for _, t2 := range targets {
-			var sum float64
-			for key, ps := range s.Cache.Pairs {
+		// One pass over the cache accumulates every target at once,
+		// fanned out over the pair store's stripes like CumulativeAPSS.
+		store := s.Cache.Pairs
+		partials := make([][]float64, store.Shards())
+		eachShard(store.Shards(), s.Cache.Params.WorkerCount(), func(sh int) {
+			sums := make([]float64, len(targets))
+			store.RangeShard(sh, func(key uint64, ps bayeslsh.PairState) {
 				_, j := bayeslsh.UnpackKey(key)
-				if int(j) < rows {
-					sum += s.Cache.ProbAbove(ps, t2)
+				if int(j) >= rows {
+					return
 				}
+				for k, t2 := range targets {
+					sums[k] += s.Cache.ProbAbove(ps, t2)
+				}
+			})
+			partials[sh] = sums
+		})
+		for k, t2 := range targets {
+			var sum float64
+			for _, sums := range partials {
+				sum += sums[k]
 			}
 			snap.Estimates[t2] = sum * scale
 		}
@@ -277,6 +368,11 @@ type CachingStep struct {
 // threshold sequence once with a shared knowledge cache and once with a
 // fresh cache per query, reporting per-step costs. Savings are reported on
 // hash comparisons, the deterministic cost driver, alongside wall time.
+//
+// The cached arm is inherently sequential (each probe reuses the evidence
+// of the last); the uncached baseline probes run on identical engine
+// settings, each on an uncontended machine, so the per-step time columns
+// compare like for like (see sweepFresh).
 func KnowledgeCachingWorkload(ds *vec.Dataset, p bayeslsh.Params, thresholds []float64, seed int64) ([]CachingStep, error) {
 	shared := NewSession(ds, p, seed)
 	steps := make([]CachingStep, len(thresholds))
@@ -289,12 +385,11 @@ func KnowledgeCachingWorkload(ds *vec.Dataset, p bayeslsh.Params, thresholds []f
 		steps[i].CachedTime = res.ProcessTime
 		steps[i].CachedHashes = res.HashesCompared
 	}
-	for i, t := range thresholds {
-		fresh := NewSession(ds, p, seed)
-		res, err := fresh.Probe(t)
-		if err != nil {
-			return nil, err
-		}
+	uncached, err := sweepFresh(ds, p, thresholds, seed)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range uncached {
 		steps[i].UncachedTime = res.ProcessTime
 		steps[i].UncachedHashes = res.HashesCompared
 		if res.HashesCompared > 0 {
@@ -302,6 +397,28 @@ func KnowledgeCachingWorkload(ds *vec.Dataset, p bayeslsh.Params, thresholds []f
 		}
 	}
 	return steps, nil
+}
+
+// sweepFresh probes each threshold on its own fresh session — the uncached
+// baseline arm of the Fig 2.10 and §2.2.2 comparisons. Each baseline probe
+// uses the exact same engine configuration as the cached arm (including
+// its worker pool), and the probes run one at a time so per-step
+// ProcessTime is measured on an uncontended machine, like for like with
+// the cached arm. Running them concurrently would either starve the inner
+// pools or bill the sweep's contention to the baseline; sessions remain
+// free to fan probes out concurrently when measurement fidelity is not at
+// stake (see TestConcurrentProbesSharedCache).
+func sweepFresh(ds *vec.Dataset, p bayeslsh.Params, thresholds []float64, seed int64) ([]*bayeslsh.Result, error) {
+	results := make([]*bayeslsh.Result, len(thresholds))
+	for i, t := range thresholds {
+		fresh := NewSession(ds, p, seed)
+		res, err := fresh.Probe(t)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
 }
 
 // InteractiveScenario reproduces §2.2.2: probe at the user's first
@@ -335,15 +452,16 @@ func RunInteractiveScenario(ds *vec.Dataset, p bayeslsh.Params, first float64, g
 	twoProbe := time.Since(start)
 
 	// Brute-force alternative: an independent, uncached probe per grid
-	// threshold. Probe processing time only — sketch generation is a
-	// one-time cost excluded from both sides.
+	// threshold on identical engine settings. Probe processing time only —
+	// summing per-probe ProcessTime models the sequential alternative the
+	// paper describes; sketch generation is a one-time cost excluded from
+	// both sides.
 	var bf time.Duration
-	for _, t := range grid {
-		fresh := NewSession(ds, p, seed)
-		res, err := fresh.Probe(t)
-		if err != nil {
-			return nil, err
-		}
+	uncached, err := sweepFresh(ds, p, grid, seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range uncached {
 		bf += res.ProcessTime
 	}
 	truth := bayeslsh.ExactCurve(ds, grid)

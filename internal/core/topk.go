@@ -21,12 +21,13 @@ func (s *Session) KNNGraph(k int) *graph.Graph {
 		est float64
 	}
 	neigh := make([][]scored, s.DS.N())
-	for key, ps := range s.Cache.Pairs {
+	s.Cache.Pairs.Range(func(key uint64, ps bayeslsh.PairState) bool {
 		est := s.Cache.Estimate(ps)
 		i, j := bayeslsh.UnpackKey(key)
 		neigh[i] = append(neigh[i], scored{j, est})
 		neigh[j] = append(neigh[j], scored{i, est})
-	}
+		return true
+	})
 	var edges [][2]int32
 	for v := range neigh {
 		l := neigh[v]
@@ -55,12 +56,13 @@ func (s *Session) KNNGraph(k int) *graph.Graph {
 func (s *Session) KNNThresholdEquivalent(k int) []float64 {
 	weakest := make([]float64, 0, s.DS.N())
 	kth := make([][]float64, s.DS.N())
-	for key, ps := range s.Cache.Pairs {
+	s.Cache.Pairs.Range(func(key uint64, ps bayeslsh.PairState) bool {
 		est := s.Cache.Estimate(ps)
 		i, j := bayeslsh.UnpackKey(key)
 		kth[i] = append(kth[i], est)
 		kth[j] = append(kth[j], est)
-	}
+		return true
+	})
 	for _, l := range kth {
 		if len(l) == 0 {
 			continue

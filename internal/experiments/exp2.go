@@ -5,7 +5,6 @@ import (
 	"io"
 	"time"
 
-	"plasmahd/internal/bayeslsh"
 	"plasmahd/internal/core"
 	"plasmahd/internal/dataset"
 	"plasmahd/internal/vec"
@@ -23,7 +22,8 @@ func init() {
 }
 
 // e21Datasets prints the Table 2.1 inventory for the synthetic stand-ins.
-func e21Datasets(w io.Writer, scale int, seed int64) error {
+func e21Datasets(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	var rows [][]string
 	for _, name := range []string{"wine", "credit"} {
 		tab, err := dataset.NewTableScaled(name, capped(0, scale), seed)
@@ -49,10 +49,11 @@ func e21Datasets(w io.Writer, scale int, seed int64) error {
 // e22Toy reproduces the Fig 2.2 reading: on the 50-point toy dataset the
 // middle threshold reveals community structure, the high one under-connects
 // and the low one over-connects.
-func e22Toy(w io.Writer, scale int, seed int64) error {
+func e22Toy(w io.Writer, opt Options) error {
+	seed := opt.Seed
 	toy := dataset.Toy50(seed)
 	ds := toy.Dataset()
-	s := core.NewSession(ds, bayeslsh.DefaultParams(), seed)
+	s := core.NewSession(ds, opt.Params(), seed)
 	if _, err := s.Probe(0.2); err != nil {
 		return err
 	}
@@ -71,10 +72,11 @@ func e22Toy(w io.Writer, scale int, seed int64) error {
 }
 
 // e23Interactive reproduces the §2.2.2 scenario and Figs 2.3-2.4 curves.
-func e23Interactive(w io.Writer, scale int, seed int64) error {
+func e23Interactive(w io.Writer, opt Options) error {
+	seed := opt.Seed
 	toy := dataset.Toy50(seed)
 	grid := core.ThresholdGrid(0.5, 0.99, 11)
-	sc, err := core.RunInteractiveScenario(toy.Dataset(), bayeslsh.DefaultParams(), 0.95, grid, seed)
+	sc, err := core.RunInteractiveScenario(toy.Dataset(), opt.Params(), 0.95, grid, seed)
 	if err != nil {
 		return err
 	}
@@ -97,12 +99,13 @@ func e23Interactive(w io.Writer, scale int, seed int64) error {
 }
 
 // e24TriangleCues reproduces Fig 2.5 on the wine stand-in.
-func e24TriangleCues(w io.Writer, scale int, seed int64) error {
+func e24TriangleCues(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	tab, err := dataset.NewTableScaled("wine", capped(0, scale), seed)
 	if err != nil {
 		return err
 	}
-	s := core.NewSession(tab.Dataset(), bayeslsh.DefaultParams(), seed)
+	s := core.NewSession(tab.Dataset(), opt.Params(), seed)
 	if _, err := s.Probe(0.7); err != nil {
 		return err
 	}
@@ -137,7 +140,8 @@ func e24TriangleCues(w io.Writer, scale int, seed int64) error {
 
 // e25Incremental reproduces Figs 2.6-2.8: estimates converge after a small
 // fraction of the data.
-func e25Incremental(w io.Writer, scale int, seed int64) error {
+func e25Incremental(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	type job struct {
 		name    string
 		t1      float64
@@ -162,7 +166,7 @@ func e25Incremental(w io.Writer, scale int, seed int64) error {
 		{"rcv1 (Fig 2.8)", 0.90, []float64{0.50, 0.90, 0.95}, rcv1},
 	}
 	for _, j := range jobs {
-		s := core.NewSession(j.ds, bayeslsh.DefaultParams(), seed)
+		s := core.NewSession(j.ds, opt.Params(), seed)
 		snaps, err := s.ProbeIncremental(j.t1, j.targets, 10)
 		if err != nil {
 			return err
@@ -202,14 +206,15 @@ func e25Incremental(w io.Writer, scale int, seed int64) error {
 }
 
 // e26SketchProportion reproduces Fig 2.9: initial sketch time vs processing.
-func e26SketchProportion(w io.Writer, scale int, seed int64) error {
+func e26SketchProportion(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	var rows [][]string
 	for _, name := range []string{"rcv1_3k", "twitterlinks", "wikiwords100k", "wikilinks"} {
 		d, err := dataset.NewCorpusScaled(name, capped(800, scale), seed)
 		if err != nil {
 			return err
 		}
-		s := core.NewSession(d, bayeslsh.DefaultParams(), seed)
+		s := core.NewSession(d, opt.Params(), seed)
 		res, err := s.Probe(0.9)
 		if err != nil {
 			return err
@@ -230,12 +235,13 @@ func e26SketchProportion(w io.Writer, scale int, seed int64) error {
 
 // e27KnowledgeCaching reproduces Fig 2.10: the .95→.70 workload with and
 // without the knowledge cache.
-func e27KnowledgeCaching(w io.Writer, scale int, seed int64) error {
+func e27KnowledgeCaching(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	d, err := dataset.NewCorpusScaled("twitter", capped(800, scale), seed)
 	if err != nil {
 		return err
 	}
-	steps, err := core.KnowledgeCachingWorkload(d, bayeslsh.DefaultParams(),
+	steps, err := core.KnowledgeCachingWorkload(d, opt.Params(),
 		[]float64{0.95, 0.90, 0.85, 0.80, 0.75, 0.70}, seed)
 	if err != nil {
 		return err

@@ -43,7 +43,8 @@ func growthMatrix(name string, scale int, seed int64) ([][]float64, error) {
 	return tab.X, nil
 }
 
-func e31Datasets(w io.Writer, scale int, seed int64) error {
+func e31Datasets(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	var rows [][]string
 	for _, name := range growthDatasets {
 		tab, err := dataset.NewTableScaled(name, capped(600, scale), seed)
@@ -59,7 +60,8 @@ func e31Datasets(w io.Writer, scale int, seed int64) error {
 
 // e32MeasureSweep compares measure curves of the real (image segmentation)
 // data against ER and geometric models of identical size — Figs 3.1-3.6.
-func e32MeasureSweep(w io.Writer, scale int, seed int64) error {
+func e32MeasureSweep(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	x, err := growthMatrix("image", capped(300, scale), seed)
 	if err != nil {
 		return err
@@ -125,17 +127,18 @@ func predictionFigure(w io.Writer, scale int, seed int64, pred growth.Predictor,
 	return nil
 }
 
-func e33TranslationScaling(w io.Writer, scale int, seed int64) error {
-	return predictionFigure(w, scale, seed, growth.TranslationScaling, []string{"abalone", "image"})
+func e33TranslationScaling(w io.Writer, opt Options) error {
+	return predictionFigure(w, opt.Scale, opt.Seed, growth.TranslationScaling, []string{"abalone", "image"})
 }
 
-func e34Regression(w io.Writer, scale int, seed int64) error {
-	return predictionFigure(w, scale, seed, growth.Regression, []string{"abalone", "image"})
+func e34Regression(w io.Writer, opt Options) error {
+	return predictionFigure(w, opt.Scale, opt.Seed, growth.Regression, []string{"abalone", "image"})
 }
 
 // e35ErrorTable reproduces Table 3.2: TS vs regression errors across all
 // datasets and sampling methods.
-func e35ErrorTable(w io.Writer, scale int, seed int64) error {
+func e35ErrorTable(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	var rows [][]string
 	tsWins, regWins := 0, 0
 	regBetterDatasets := 0
@@ -187,7 +190,8 @@ func e35ErrorTable(w io.Writer, scale int, seed int64) error {
 
 // e36SamplingDist reproduces Fig 3.18: pair-similarity distributions of the
 // abalone stand-in under the three sampling methods.
-func e36SamplingDist(w io.Writer, scale int, seed int64) error {
+func e36SamplingDist(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	x, err := growthMatrix("abalone", capped(500, scale), seed)
 	if err != nil {
 		return err
@@ -216,7 +220,8 @@ func e36SamplingDist(w io.Writer, scale int, seed int64) error {
 
 // e37MeasureRuntimes reproduces Figs 3.19-3.20: per-measure runtimes over
 // increasing density.
-func e37MeasureRuntimes(w io.Writer, scale int, seed int64) error {
+func e37MeasureRuntimes(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	for _, name := range []string{"image", "mushroom"} {
 		x, err := growthMatrix(name, capped(250, scale), seed)
 		if err != nil {
@@ -248,7 +253,8 @@ func e37MeasureRuntimes(w io.Writer, scale int, seed int64) error {
 
 // e38TriangleSpeedup reproduces Fig 3.21: cost of training on sparse halves
 // vs computing the dense half exactly.
-func e38TriangleSpeedup(w io.Writer, scale int, seed int64) error {
+func e38TriangleSpeedup(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	var rows [][]string
 	for _, name := range []string{"image", "letter", "mushroom", "yeast"} {
 		x, err := growthMatrix(name, capped(500, scale), seed)

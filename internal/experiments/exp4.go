@@ -5,7 +5,6 @@ import (
 	"io"
 	"time"
 
-	"plasmahd/internal/bayeslsh"
 	"plasmahd/internal/core"
 	"plasmahd/internal/dataset"
 	"plasmahd/internal/itemset"
@@ -34,7 +33,8 @@ func transDB(name string, def, scale int, seed int64) (*itemset.DB, *dataset.Tra
 }
 
 // e41PhaseBreakdown reproduces Fig 4.4: localize vs mine time, Area vs RC.
-func e41PhaseBreakdown(w io.Writer, scale int, seed int64) error {
+func e41PhaseBreakdown(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	var rows [][]string
 	for _, name := range []string{"adult", "mushroom", "kosarak"} {
 		db, _, err := transDB(name, 2000, scale, seed)
@@ -68,7 +68,8 @@ func e41PhaseBreakdown(w io.Writer, scale int, seed int64) error {
 }
 
 // e42UtilityCompression reproduces Fig 4.5: LAM5 ratios by utility.
-func e42UtilityCompression(w io.Writer, scale int, seed int64) error {
+func e42UtilityCompression(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	var rows [][]string
 	for _, name := range []string{"adult", "mushroom", "kosarak"} {
 		db, _, err := transDB(name, 2000, scale, seed)
@@ -103,7 +104,8 @@ func krimpSupport(tr *dataset.Transactions) int {
 
 // e43Compressors reproduces Figs 4.6-4.7: compression ratio and runtime of
 // LAM vs the Krimp-style and closed-cover (CDB-style) baselines.
-func e43Compressors(w io.Writer, scale int, seed int64) error {
+func e43Compressors(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	names := []string{"accidents", "adult", "anneal", "breast", "iris",
 		"kosarak", "mushroom", "pageblocks", "tictactoe", "twitterwcs"}
 	var rows [][]string
@@ -152,7 +154,8 @@ func e43Compressors(w io.Writer, scale int, seed int64) error {
 
 // e44SampledBaseline reproduces Fig 4.8: sampling speeds the baseline only
 // fractionally while compression drops.
-func e44SampledBaseline(w io.Writer, scale int, seed int64) error {
+func e44SampledBaseline(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	db, tr, err := transDB("adult", 1500, scale, seed)
 	if err != nil {
 		return err
@@ -181,7 +184,8 @@ func e44SampledBaseline(w io.Writer, scale int, seed int64) error {
 
 // e45Classification reproduces Fig 4.9: LAM-based compressed-analytics
 // classification accuracy vs a Krimp-style baseline, 10-fold CV.
-func e45Classification(w io.Writer, scale int, seed int64) error {
+func e45Classification(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	var rows [][]string
 	for _, name := range []string{"adult", "anneal", "breast", "iris", "mushroom", "pageblocks", "tictactoe"} {
 		db, tr, err := transDB(name, 800, scale, seed)
@@ -217,7 +221,8 @@ func e45Classification(w io.Writer, scale int, seed int64) error {
 
 // e46ClosedComparison reproduces Figs 4.10-4.11: LAM vs closed itemsets on
 // the EU web graph — runtime across supports and the pattern-length story.
-func e46ClosedComparison(w io.Writer, scale int, seed int64) error {
+func e46ClosedComparison(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	g, err := dataset.NewWebGraphScaled("eu2005", capped(2500, scale), seed)
 	if err != nil {
 		return err
@@ -279,7 +284,8 @@ func e46ClosedComparison(w io.Writer, scale int, seed int64) error {
 
 // e47PLAMScaling reproduces Fig 4.12 and Table 4.5: worker scaling and
 // per-pass compression ratios.
-func e47PLAMScaling(w io.Writer, scale int, seed int64) error {
+func e47PLAMScaling(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	g, err := dataset.NewWebGraphScaled("eu2005", capped(3000, scale), seed)
 	if err != nil {
 		return err
@@ -320,7 +326,8 @@ func e47PLAMScaling(w io.Writer, scale int, seed int64) error {
 
 // e48LengthCompression reproduces Fig 4.13: pattern length vs cumulative
 // compression contribution.
-func e48LengthCompression(w io.Writer, scale int, seed int64) error {
+func e48LengthCompression(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	g, err := dataset.NewWebGraphScaled("uk2006", capped(3000, scale), seed)
 	if err != nil {
 		return err
@@ -350,7 +357,8 @@ func e48LengthCompression(w io.Writer, scale int, seed int64) error {
 
 // e49CompressThresholds reproduces Fig 4.14 and Table 4.6: LAM
 // compressibility of similarity graphs across thresholds.
-func e49CompressThresholds(w io.Writer, scale int, seed int64) error {
+func e49CompressThresholds(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	names := []string{"twitterlinks", "wikiwords200", "wikiwords500", "orkut", "rcv1", "wikilinks"}
 	fmt.Fprintln(w, "Table 4.6 stand-ins and Fig 4.14 compressibility curves")
 	for _, name := range names {
@@ -358,7 +366,7 @@ func e49CompressThresholds(w io.Writer, scale int, seed int64) error {
 		if err != nil {
 			return err
 		}
-		s := core.NewSession(d, bayeslsh.DefaultParams(), seed)
+		s := core.NewSession(d, opt.Params(), seed)
 		grid := core.ThresholdGrid(0.3, 0.9, 7)
 		if _, err := s.Probe(grid[0]); err != nil {
 			return err

@@ -34,7 +34,8 @@ var pcoordDatasets = []struct {
 // e51OrderingTimes reproduces Table 5.2: approximate vs exact ordering
 // times plus energy-reduction convergence time and iteration counts at
 // α=β=γ=1/3.
-func e51OrderingTimes(w io.Writer, scale int, seed int64) error {
+func e51OrderingTimes(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	var rows [][]string
 	for _, d := range pcoordDatasets {
 		tab, err := dataset.NewTableScaled(d.name, capped(400, scale), seed)
@@ -84,7 +85,8 @@ func e51OrderingTimes(w io.Writer, scale int, seed int64) error {
 // e52EnergyReduction reproduces the Figs 5.4-5.10 reading quantitatively:
 // crossing reduction from reordering and the de-cluttering effect of energy
 // reduction (within-cluster spread shrink at assistant coordinates).
-func e52EnergyReduction(w io.Writer, scale int, seed int64) error {
+func e52EnergyReduction(w io.Writer, opt Options) error {
+	scale, seed := opt.Scale, opt.Seed
 	var rows [][]string
 	for _, d := range pcoordDatasets {
 		tab, err := dataset.NewTableScaled(d.name, capped(300, scale), seed)

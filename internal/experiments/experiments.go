@@ -10,18 +10,40 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"plasmahd/internal/bayeslsh"
 )
+
+// Options carries the run-wide knobs of an experiment: the dataset size
+// cap, the generator seed, and the probe-engine worker count.
+type Options struct {
+	// Scale caps dataset sizes (0 = the default reproduction scale).
+	Scale int
+	// Seed drives every synthetic generator and sketch family.
+	Seed int64
+	// Workers is the BayesLSH probe parallelism (0 = all cores); it does
+	// not change any experiment's output, only its wall time.
+	Workers int
+}
+
+// Params returns the default BayesLSH parameter set with the run's worker
+// count applied — what every probing experiment should use.
+func (o Options) Params() bayeslsh.Params {
+	p := bayeslsh.DefaultParams()
+	p.Workers = o.Workers
+	return p
+}
 
 // Experiment is a registered table/figure reproduction.
 type Experiment struct {
 	ID    string
 	Paper string // which table/figure of the paper it regenerates
-	Run   func(w io.Writer, scale int, seed int64) error
+	Run   func(w io.Writer, opt Options) error
 }
 
 var registry []Experiment
 
-func register(id, paper string, run func(w io.Writer, scale int, seed int64) error) {
+func register(id, paper string, run func(w io.Writer, opt Options) error) {
 	registry = append(registry, Experiment{ID: id, Paper: paper, Run: run})
 }
 

@@ -32,7 +32,27 @@ func TestRegistryComplete(t *testing.T) {
 	}
 }
 
-// TestAllExperimentsRunAtSmallScale smoke-runs every experiment with tight
+// TestEveryExperimentSmoke runs every experiment at a drastically reduced
+// scale — small enough that the full sweep stays inside a -short budget —
+// asserting each still executes end to end and produces output. The
+// statistically meaningful scale lives in TestAllExperimentsRunAtSmallScale.
+func TestEveryExperimentSmoke(t *testing.T) {
+	opt := Options{Scale: 60, Seed: 1}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, opt); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+// TestAllExperimentsRunAtSmallScale runs every experiment with looser
 // dataset caps, asserting each produces output without error. Statistical
 // assertions live in the per-package tests; this guards the harness wiring.
 func TestAllExperimentsRunAtSmallScale(t *testing.T) {
@@ -43,7 +63,7 @@ func TestAllExperimentsRunAtSmallScale(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := e.Run(&buf, 150, 1); err != nil {
+			if err := e.Run(&buf, Options{Scale: 150, Seed: 1}); err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
 			if buf.Len() == 0 {
@@ -59,7 +79,7 @@ func TestExperimentOutputMentionsPaperArtifacts(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	e, _ := ByID("E2.7")
-	if err := e.Run(&buf, 150, 1); err != nil {
+	if err := e.Run(&buf, Options{Scale: 150, Seed: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Fig 2.10") {
@@ -67,7 +87,30 @@ func TestExperimentOutputMentionsPaperArtifacts(t *testing.T) {
 	}
 	buf.Reset()
 	e, _ = ByID("E3.5")
-	if err := e.Run(io.Discard, 120, 1); err != nil {
+	if err := e.Run(io.Discard, Options{Scale: 120, Seed: 1}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWorkersDoNotChangeExperimentOutput pins the determinism contract at
+// the harness level: a probing experiment's output must be identical for
+// any worker count. E2.2 is the right probe — it has no timing columns and
+// every printed number is a discrete function of the probe's pair set
+// (edge counts, components, clarity fractions), unlike the float-summed
+// curve estimates whose last bits wobble with map iteration order.
+func TestWorkersDoNotChangeExperimentOutput(t *testing.T) {
+	e, err := ByID("E2.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serial, parallel bytes.Buffer
+	if err := e.Run(&serial, Options{Scale: 100, Seed: 1, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(&parallel, Options{Scale: 100, Seed: 1, Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Error("E2.2 output differs between Workers=1 and Workers=8")
 	}
 }
