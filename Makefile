@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test short race bench bench-workers ci
+.PHONY: all build vet test short race bench bench-workers serve smoke-server ci
 
 all: build
 
@@ -18,10 +18,10 @@ test:
 short:
 	$(GO) test -short ./...
 
-# race covers the concurrent probe engine and session layer, the packages
-# with shared mutable state.
+# race covers the concurrent probe engine, the session layer, and the
+# multi-tenant HTTP server — the packages with shared mutable state.
 race:
-	$(GO) test -race ./internal/bayeslsh ./internal/core
+	$(GO) test -race ./internal/bayeslsh ./internal/core ./internal/server
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -30,4 +30,13 @@ bench:
 bench-workers:
 	$(GO) test -run xxx -bench 'BenchmarkSearchWorkers[0-9]+$$' -benchmem ./internal/bayeslsh
 
-ci: vet build short race
+# serve runs the probe daemon on the default address (ADDR to override).
+serve:
+	$(GO) run ./cmd/plasmad -addr $(or $(ADDR),127.0.0.1:8080)
+
+# smoke-server boots plasmad on a random port, drives one probe/curve/cues
+# loop over HTTP, and verifies graceful shutdown.
+smoke-server:
+	sh ./scripts/smoke-server.sh
+
+ci: vet build short race smoke-server

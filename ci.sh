@@ -5,9 +5,11 @@
 #
 # Tier 1 (fast): vet + build + short tests, which still smoke-run every
 # experiment ID at reduced scale.
-# Tier 2 (race): race-detector pass over the concurrent engine and session
-# packages.
-# Tier 3 (full, optional via CI_FULL=1): the complete test suite including
+# Tier 2 (race): race-detector pass over the concurrent engine, session,
+# and server packages.
+# Tier 3 (daemon smoke): boot plasmad on a random port, run a probe/curve/
+# cues loop over HTTP, and verify graceful shutdown.
+# Tier 4 (full, optional via CI_FULL=1): the complete test suite including
 # the seconds-long experiment sweeps.
 set -eu
 
@@ -17,8 +19,11 @@ make vet build short
 echo "== tier 2: race detector on concurrent packages =="
 make race
 
+echo "== tier 3: plasmad daemon smoke =="
+make smoke-server
+
 if [ "${CI_FULL:-0}" = "1" ]; then
-    echo "== tier 3: full test suite =="
+    echo "== tier 4: full test suite =="
     make test
 fi
 

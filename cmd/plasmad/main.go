@@ -1,0 +1,67 @@
+// Command plasmad is the multi-tenant PLASMA-HD probe daemon: a long-lived
+// HTTP/JSON service over core.Session, so many clients can drive the
+// Fig 2.1 loop (probe → inspect curve and cues → choose the next t)
+// against shared knowledge caches without repaying the sketching start-up
+// cost per query.
+//
+// Usage:
+//
+//	plasmad                          # listen on 127.0.0.1:8080
+//	plasmad -addr :9000 -capacity 32 -workers 4
+//	plasmad -addr 127.0.0.1:0        # random port, printed on startup
+//
+// Quick tour (see docs/API.md for the full wire format):
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/sessions \
+//	    -d '{"dataset":{"kind":"table","name":"wine"},"seed":1}'
+//	curl -s -X POST localhost:8080/v1/sessions/s1/probe -d '{"threshold":0.7}'
+//	curl -s 'localhost:8080/v1/sessions/s1/curve?lo=0.3&hi=0.95&steps=14'
+//
+// The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"plasmahd/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 = random)")
+		capacity = flag.Int("capacity", 16, "max resident sessions before LRU eviction of idle ones")
+		workers  = flag.Int("workers", 0, "default probe-engine workers per session (0 = all cores)")
+		timeout  = flag.Duration("timeout", 60*time.Second, "per-request deadline")
+		maxBody  = flag.Int64("max-body", 32<<20, "request-body size cap in bytes")
+		quiet    = flag.Bool("quiet", false, "suppress the request log")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "plasmad: ", log.LstdFlags)
+	if *quiet {
+		logger = nil
+	}
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		Capacity:       *capacity,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		Logger:         logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "plasmad:", err)
+		os.Exit(1)
+	}
+}

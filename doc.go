@@ -10,9 +10,9 @@
 //
 // The implementation lives under internal/; cmd/plasma is the interactive
 // probing shell, cmd/plasmabench regenerates every table and figure of the
-// paper's evaluation, and examples/ holds runnable walkthroughs. See
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// paper's evaluation, cmd/plasmad serves probe sessions to many clients
+// over HTTP/JSON (docs/API.md), and examples/ holds runnable walkthroughs.
+// docs/ARCHITECTURE.md maps the packages and the probe data flow.
 //
 // # Concurrency model
 //
@@ -42,6 +42,15 @@
 // KnowledgeCachingWorkload and RunInteractiveScenario deliberately stay
 // sequential on identical engine settings so their timing columns compare
 // like for like with the cached arm.
+//
+// # Serving
+//
+// cmd/plasmad exposes sessions as a multi-tenant HTTP service: named
+// sessions with capacity-bounded LRU eviction of idle ones, singleflight
+// coalescing of duplicate in-flight probes, and JSON endpoints for the
+// probe/curve/cues loop of Fig 2.1. internal/server holds the manager and
+// handlers; docs/API.md documents every endpoint and is kept in lock-step
+// with the route table by a test.
 package plasmahd
 
 // Version identifies this reproduction.

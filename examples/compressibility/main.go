@@ -3,6 +3,11 @@
 // the compression-ratio curve mark thresholds where cohesive clusters form
 // or dissolve — the regions a domain expert should probe next.
 //
+// One probe (parallel across Params.Workers goroutines, the CLIs'
+// -workers knob) feeds every threshold graph from the knowledge cache;
+// lam.Params.Workers > 1 would likewise mine partitions in parallel
+// (PLAM).
+//
 //	go run ./examples/compressibility
 package main
 

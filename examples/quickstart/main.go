@@ -5,6 +5,12 @@
 // knowledge cache: the cumulative APSS curve, a suggested next probe, and
 // triangle-based clusterability cues.
 //
+// The probe engine shards candidate evaluation across Params.Workers
+// goroutines (0 = all cores) with byte-identical results for any count —
+// the knob the CLIs and plasmad expose as -workers. Sessions are safe for
+// concurrent probes; see examples/serverclient for the multi-client HTTP
+// version of this walkthrough.
+//
 //	go run ./examples/quickstart
 package main
 
@@ -27,7 +33,11 @@ func main() {
 	}
 	ds := tab.Dataset()
 
-	session := core.NewSession(ds, bayeslsh.DefaultParams(), 1)
+	// Workers = 0 parallelizes the probe across all cores; any other value
+	// returns the same pairs, only wall time changes.
+	params := bayeslsh.DefaultParams()
+	params.Workers = 0
+	session := core.NewSession(ds, params, 1)
 	fmt.Printf("dataset %s: %d rows, sketched in %v\n", ds.Name, ds.N(), session.SketchTime())
 
 	// Probe once at 0.8 — the only pass over the data.

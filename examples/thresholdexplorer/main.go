@@ -2,6 +2,12 @@
 // Fig 2.10 knowledge-caching workload — the two headline interactivity
 // results of PLASMA-HD.
 //
+// Both arms of each comparison run on identical engine settings, including
+// Params.Workers (the -workers knob of the CLIs and plasmad): the cached
+// arm reuses one session's knowledge cache while the baseline pays for a
+// fresh cache per threshold, so the savings isolate caching, not
+// parallelism.
+//
 //	go run ./examples/thresholdexplorer
 package main
 

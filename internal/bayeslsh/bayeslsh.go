@@ -416,6 +416,14 @@ func (c *Cache) evalBatch(ds *vec.Dataset, cands []candidate, outs []candOutcome
 // progress callbacks fire once per row, in order, after the batch covering
 // that row has been merged.
 func Search(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc) (*Result, error) {
+	return SearchWorkers(ds, t, c, progress, 0)
+}
+
+// SearchWorkers is Search with an explicit worker-pool size for this probe
+// only, overriding Params.Workers (0 or negative = use Params). The override
+// is scheduling-only — outcomes are byte-identical for any value — so
+// concurrent probes on one cache may each bring their own pool size.
+func SearchWorkers(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc, workers int) (*Result, error) {
 	if ds.N() != c.N {
 		return nil, fmt.Errorf("bayeslsh: cache built for %d rows, dataset has %d", c.N, ds.N())
 	}
@@ -423,7 +431,9 @@ func Search(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc) (*Resul
 	start := time.Now()
 	res := &Result{Threshold: t}
 	bound := c.pruneBound(t)
-	workers := p.WorkerCount()
+	if workers <= 0 {
+		workers = p.WorkerCount()
+	}
 
 	maxDF := int(p.MaxDFFrac * float64(ds.N()))
 	if maxDF < 2 {

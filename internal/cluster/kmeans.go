@@ -2,6 +2,14 @@
 // chapter 3's stratified sampling ("the data is divided into 10 clusters
 // using K-means") and the given-cluster input to the chapter 5 parallel
 // coordinates visualizations.
+//
+// KMeans uses k-means++ seeding followed by Lloyd iterations and is fully
+// deterministic for a given seed, so every experiment that stratifies or
+// colors by cluster is reproducible run to run. The Result bundle exposes
+// the per-point assignment, the centroids, the within-cluster inertia, and
+// the Sizes/Members views the samplers and renderers consume. Rows are
+// plain []float64 slices in the original (typically z-normed) attribute
+// space — callers normalize before clustering, as §3.5 does.
 package cluster
 
 import (

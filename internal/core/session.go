@@ -57,7 +57,18 @@ func (s *Session) Probe(t float64) (*bayeslsh.Result, error) {
 
 // ProbeWithProgress is Probe with a per-row observer.
 func (s *Session) ProbeWithProgress(t float64, progress bayeslsh.ProgressFunc) (*bayeslsh.Result, error) {
-	res, err := bayeslsh.Search(s.DS, t, s.Cache, progress)
+	return s.probe(t, progress, 0)
+}
+
+// ProbeWorkers is Probe with a per-call worker-pool override (0 = the
+// session's Params.Workers) — the per-request knob plasmad exposes. The
+// override changes scheduling only; results are identical for any value.
+func (s *Session) ProbeWorkers(t float64, workers int) (*bayeslsh.Result, error) {
+	return s.probe(t, nil, workers)
+}
+
+func (s *Session) probe(t float64, progress bayeslsh.ProgressFunc, workers int) (*bayeslsh.Result, error) {
+	res, err := bayeslsh.SearchWorkers(s.DS, t, s.Cache, progress, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +169,32 @@ func eachShard(shards, workers int, f func(shard int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// CurveAt evaluates a single cumulative-APSS point — the one-threshold
+// convenience used by API handlers and cue summaries.
+func (s *Session) CurveAt(t float64) CurvePoint {
+	return s.CumulativeAPSS([]float64{t})[0]
+}
+
+// CachedPairs returns the number of candidate pairs memoized in the
+// knowledge cache so far.
+func (s *Session) CachedPairs() int { return s.Cache.Pairs.Len() }
+
+// Thresholds returns the distinct probed thresholds in ascending order.
+func (s *Session) Thresholds() []float64 {
+	s.mu.Lock()
+	seen := make(map[float64]bool, len(s.probes))
+	for _, p := range s.probes {
+		seen[p.Threshold] = true
+	}
+	s.mu.Unlock()
+	ts := make([]float64, 0, len(seen))
+	for t := range seen {
+		ts = append(ts, t)
+	}
+	sort.Float64s(ts)
+	return ts
 }
 
 // ThresholdGrid returns an inclusive uniform grid over [lo, hi].

@@ -155,16 +155,42 @@ const (
 	ModelGeom Model = "geom"
 )
 
-// Generate dispatches to the named model.
-func Generate(model Model, n, m int, seed int64) *graph.Graph {
-	switch model {
-	case ModelPA:
-		return PreferentialAttachment(n, m, seed)
-	case ModelGeom:
-		return RandomGeometric(n, m, seed)
-	default:
-		return ErdosRenyi(n, m, seed)
+// GeneratorFunc builds a graph with n vertices and approximately m edges
+// from a seed — the shape every chapter 3 model shares ("the ability to
+// control approximate edge count" is the only model criterion).
+type GeneratorFunc func(n, m int, seed int64) *graph.Graph
+
+// models is the named-generator registry: every model a client (CLI flag,
+// experiment spec, or plasmad session request) can ask for by name.
+var models = map[Model]GeneratorFunc{
+	ModelER:   ErdosRenyi,
+	ModelPA:   PreferentialAttachment,
+	ModelGeom: RandomGeometric,
+}
+
+// Models returns the registered model names in sorted order.
+func Models() []Model {
+	names := make([]Model, 0, len(models))
+	for m := range models {
+		names = append(names, m)
 	}
+	sort.Slice(names, func(a, b int) bool { return names[a] < names[b] })
+	return names
+}
+
+// Lookup returns the registered generator for a model name.
+func Lookup(model Model) (GeneratorFunc, bool) {
+	f, ok := models[model]
+	return f, ok
+}
+
+// Generate dispatches to the named model; unknown names fall back to
+// Erdős–Rényi, the chapter's baseline model.
+func Generate(model Model, n, m int, seed int64) *graph.Graph {
+	if f, ok := models[model]; ok {
+		return f(n, m, seed)
+	}
+	return ErdosRenyi(n, m, seed)
 }
 
 // PlantedPartition generates an LFR-style benchmark: k equal communities

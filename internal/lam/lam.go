@@ -1,3 +1,23 @@
+// Package lam implements the Localized Approximate Miner of chapter 4: the
+// first linearithmic, parameter-free pattern miner, used by PLASMA-HD as a
+// scalable compressibility/clusterability estimator (§4.6 — phase shifts in
+// the compression-ratio curve across similarity thresholds mark where
+// cohesive clusters form or dissolve).
+//
+// The miner runs in two phases. Phase 1 (localize.go) groups similar
+// transactions by sketching each row with K minwise hashes and sorting rows
+// lexicographically by sketch, then cutting the order into partitions of at
+// most Chunk rows (Algorithm 3) — the locality step that makes the whole
+// miner O(n log n). Phase 2 (trie.go) builds a compact trie per partition
+// and repeatedly extracts the highest-utility pattern (Area or RC utility),
+// consuming covered rows on the fly (Algorithms 4-6); Passes controls how
+// many localize-mine rounds run over the residual database. classify.go
+// applies the resulting code table as a nearest-pattern classifier (§4.5).
+//
+// Concurrency: PLAM (Params.Workers > 1) mines phase-2 partitions on a
+// worker pool. Partitions are disjoint row sets, so the parallel run is
+// race-free and produces the same patterns as the serial one, merely
+// interleaved; Mine re-sorts its output to keep results deterministic.
 package lam
 
 import (

@@ -1,9 +1,3 @@
-// Package lam implements the Localized Approximate Miner of chapter 4: the
-// first linearithmic, parameter-free pattern miner. Phase 1 groups similar
-// transactions with minwise hashing and lexicographic sorting (Algorithm 3);
-// phase 2 mines each partition's trie for high-utility patterns and consumes
-// them on the fly (Algorithms 4-6). PLAM parallelizes phase 2 across
-// partitions, which are disjoint row sets and therefore race-free.
 package lam
 
 import (

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAPIDocsCoverEveryRoute keeps docs/API.md in lock-step with the route
+// table: every registered "METHOD /pattern" must appear verbatim in the doc,
+// and the doc must not describe endpoints that no longer exist.
+func TestAPIDocsCoverEveryRoute(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "API.md"))
+	if err != nil {
+		t.Fatalf("docs/API.md must exist and document every route: %v", err)
+	}
+	doc := string(raw)
+
+	srv := New(Config{})
+	routes := srv.Routes()
+	if len(routes) < 8 {
+		t.Fatalf("plasmad must serve at least 8 endpoints, route table has %d", len(routes))
+	}
+	seen := make(map[string]bool, len(routes))
+	for _, rt := range routes {
+		key := rt.Method + " " + rt.Pattern
+		seen[key] = true
+		if !strings.Contains(doc, key) {
+			t.Errorf("docs/API.md is missing the registered route %q", key)
+		}
+	}
+
+	// Reverse direction: every "METHOD /path" heading in the doc's endpoint
+	// lines (backtick-quoted) must be a registered route.
+	for _, line := range strings.Split(doc, "\n") {
+		for _, method := range []string{"GET", "POST", "PUT", "PATCH", "DELETE"} {
+			marker := "`" + method + " /"
+			idx := strings.Index(line, marker)
+			if idx < 0 {
+				continue
+			}
+			rest := line[idx+1:]
+			end := strings.IndexByte(rest, '`')
+			if end < 0 {
+				continue
+			}
+			// Strip any query-string example from the documented pattern.
+			docRoute := rest[:end]
+			if q := strings.IndexByte(docRoute, '?'); q >= 0 {
+				docRoute = docRoute[:q]
+			}
+			if !seen[docRoute] {
+				t.Errorf("docs/API.md documents %q which is not a registered route", docRoute)
+			}
+		}
+	}
+
+	if t.Failed() {
+		var known []string
+		for k := range seen {
+			known = append(known, k)
+		}
+		fmt.Println("registered routes:", known)
+	}
+}

@@ -1,0 +1,732 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"plasmahd/internal/bayeslsh"
+	"plasmahd/internal/core"
+	"plasmahd/internal/dataset"
+	"plasmahd/internal/graph"
+	"plasmahd/internal/stats"
+	"plasmahd/internal/vec"
+)
+
+// Route is one registered endpoint. The table is the single source of truth:
+// the mux is built from it and the docs test asserts docs/API.md covers it.
+type Route struct {
+	Method  string
+	Pattern string // mux pattern without the method, e.g. /v1/sessions/{id}/probe
+	Summary string
+	handler http.HandlerFunc
+}
+
+// Routes returns the server's endpoint table.
+func (s *Server) Routes() []Route {
+	return []Route{
+		{"GET", "/healthz", "liveness check", s.handleHealthz},
+		{"GET", "/v1/stats", "manager and process statistics", s.handleStats},
+		{"GET", "/v1/datasets", "built-in dataset generators by kind", s.handleDatasets},
+		{"POST", "/v1/sessions", "create a session from a named generator or uploaded data", s.handleCreateSession},
+		{"GET", "/v1/sessions", "list resident sessions", s.handleListSessions},
+		{"GET", "/v1/sessions/{id}", "one session's summary", s.handleGetSession},
+		{"DELETE", "/v1/sessions/{id}", "delete a session", s.handleDeleteSession},
+		{"POST", "/v1/sessions/{id}/probe", "run (or join) a probe at a threshold", s.handleProbe},
+		{"GET", "/v1/sessions/{id}/curve", "cumulative APSS curve over a threshold grid, with knee", s.handleCurve},
+		{"GET", "/v1/sessions/{id}/graph", "threshold graph summary with degree/density profile", s.handleGraph},
+		{"GET", "/v1/sessions/{id}/cues", "visual cues: triangle histogram and density profile", s.handleCues},
+		{"POST", "/v1/sessions/{id}/sweep", "incremental probe with extrapolated snapshots", s.handleSweep},
+	}
+}
+
+// ---- JSON envelope ----
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorEnvelope is the uniform error shape of every non-2xx response.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	// Encode before writing the header so an encode failure can still
+	// become a 500 envelope instead of a success status with an empty body.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		s.mgr.stats.Errors.Add(1)
+		status = http.StatusInternalServerError
+		buf.Reset()
+		fmt.Fprintf(&buf, `{"error":{"code":"internal","message":"response encoding failed: %s"}}`+"\n",
+			strings.ReplaceAll(err.Error(), `"`, `'`))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	s.mgr.stats.Errors.Add(1)
+	s.writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// decodeJSON strictly decodes a request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+// acquire resolves {id} to a busy-marked session or writes the 404 envelope.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (*ManagedSession, func(), bool) {
+	id := r.PathValue("id")
+	ms, release, err := s.mgr.Acquire(id)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, "not_found", "no session %q", id)
+		return nil, nil, false
+	}
+	return ms, release, true
+}
+
+// threshold parses the t query parameter into [-1, 1].
+func (s *Server) threshold(w http.ResponseWriter, r *http.Request) (float64, bool) {
+	raw := r.URL.Query().Get("t")
+	if raw == "" {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "missing required query parameter t")
+		return 0, false
+	}
+	t, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(t) || t < -1 || t > 1 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "t must be a number in [-1, 1], got %q", raw)
+		return 0, false
+	}
+	return t, true
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	if raw := r.URL.Query().Get(key); raw != "" {
+		if v, err := strconv.Atoi(raw); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+func queryFloat(r *http.Request, key string, def float64) float64 {
+	if raw := r.URL.Query().Get(key); raw != "" {
+		if v, err := strconv.ParseFloat(raw, 64); err == nil && !math.IsNaN(v) && !math.IsInf(v, 0) {
+			return v
+		}
+	}
+	return def
+}
+
+// ---- wire types ----
+
+// paramsJSON is the client-settable subset of bayeslsh.Params; nil fields
+// keep the engine defaults.
+type paramsJSON struct {
+	Epsilon   *float64 `json:"epsilon,omitempty"`
+	Delta     *float64 `json:"delta,omitempty"`
+	Gamma     *float64 `json:"gamma,omitempty"`
+	MaxHashes *int     `json:"maxHashes,omitempty"`
+	Step      *int     `json:"step,omitempty"`
+	Lite      *bool    `json:"lite,omitempty"`
+	Workers   *int     `json:"workers,omitempty"`
+}
+
+func (pj *paramsJSON) apply(p bayeslsh.Params) bayeslsh.Params {
+	if pj == nil {
+		return p
+	}
+	if pj.Epsilon != nil {
+		p.Epsilon = *pj.Epsilon
+	}
+	if pj.Delta != nil {
+		p.Delta = *pj.Delta
+	}
+	if pj.Gamma != nil {
+		p.Gamma = *pj.Gamma
+	}
+	if pj.MaxHashes != nil {
+		p.MaxHashes = *pj.MaxHashes
+	}
+	if pj.Step != nil {
+		p.Step = *pj.Step
+	}
+	if pj.Lite != nil {
+		p.Lite = *pj.Lite
+	}
+	if pj.Workers != nil {
+		p.Workers = *pj.Workers
+	}
+	return p
+}
+
+// sparseRow is one uploaded sparse vector; omitted values mean all-ones.
+type sparseRow struct {
+	Indices []int32   `json:"indices"`
+	Values  []float64 `json:"values,omitempty"`
+}
+
+// sparseUpload is an uploaded sparse dataset.
+type sparseUpload struct {
+	Dim  int         `json:"dim"`
+	Rows []sparseRow `json:"rows"`
+}
+
+// createSessionRequest asks for a new session over exactly one of a named
+// generator spec (dataset), an uploaded dense matrix (dense), or an uploaded
+// sparse dataset (sparse).
+type createSessionRequest struct {
+	Dataset *dataset.Spec `json:"dataset,omitempty"`
+	Dense   [][]float64   `json:"dense,omitempty"`
+	Sparse  *sparseUpload `json:"sparse,omitempty"`
+	Measure string        `json:"measure,omitempty"` // uploads: "cosine" (default) or "jaccard"
+	Name    string        `json:"name,omitempty"`    // uploads: display name
+	Params  *paramsJSON   `json:"params,omitempty"`
+	Seed    int64         `json:"seed,omitempty"`
+}
+
+// sessionInfo is the JSON summary of one session.
+type sessionInfo struct {
+	ID            string    `json:"id"`
+	Dataset       string    `json:"dataset"`
+	Rows          int       `json:"rows"`
+	Dim           int       `json:"dim"`
+	Measure       string    `json:"measure"`
+	Probes        int       `json:"probes"`
+	CachedPairs   int       `json:"cachedPairs"`
+	Thresholds    []float64 `json:"thresholds,omitempty"`
+	SketchMillis  float64   `json:"sketchMillis"`
+	ProcessMillis float64   `json:"processMillis"`
+	CreatedAt     time.Time `json:"createdAt"`
+	LastUsedAt    time.Time `json:"lastUsedAt"`
+}
+
+func sessionInfoOf(ms *ManagedSession) sessionInfo {
+	sess := ms.Session
+	return sessionInfo{
+		ID:            ms.ID,
+		Dataset:       sess.DS.Name,
+		Rows:          sess.DS.N(),
+		Dim:           sess.DS.Dim,
+		Measure:       sess.DS.Measure.String(),
+		Probes:        sess.ProbeCount(),
+		CachedPairs:   sess.CachedPairs(),
+		Thresholds:    sess.Thresholds(),
+		SketchMillis:  float64(sess.SketchTime()) / float64(time.Millisecond),
+		ProcessMillis: float64(sess.ProcessTime()) / float64(time.Millisecond),
+		CreatedAt:     ms.Created,
+		LastUsedAt:    ms.LastUsed(),
+	}
+}
+
+// probeRequest triggers one probe.
+type probeRequest struct {
+	Threshold    float64 `json:"threshold"`
+	Workers      int     `json:"workers,omitempty"`
+	IncludePairs bool    `json:"includePairs,omitempty"`
+	MaxPairs     int     `json:"maxPairs,omitempty"` // cap on returned pairs; 0 = all
+}
+
+type pairJSON struct {
+	I   int32   `json:"i"`
+	J   int32   `json:"j"`
+	Est float64 `json:"est"`
+}
+
+type probeResponse struct {
+	SessionID      string     `json:"sessionId"`
+	Threshold      float64    `json:"threshold"`
+	PairCount      int        `json:"pairCount"`
+	Candidates     int        `json:"candidates"`
+	Pruned         int        `json:"pruned"`
+	CacheHits      int        `json:"cacheHits"`
+	HashesCompared int64      `json:"hashesCompared"`
+	ProcessMillis  float64    `json:"processMillis"`
+	Coalesced      bool       `json:"coalesced"`
+	Pairs          []pairJSON `json:"pairs,omitempty"`
+}
+
+type curvePointJSON struct {
+	Threshold float64 `json:"threshold"`
+	Estimate  float64 `json:"estimate"`
+	ErrBar    float64 `json:"errBar"`
+}
+
+type curveResponse struct {
+	SessionID string           `json:"sessionId"`
+	Points    []curvePointJSON `json:"points"`
+	Knee      float64          `json:"knee"`
+}
+
+type graphResponse struct {
+	SessionID       string  `json:"sessionId"`
+	Threshold       float64 `json:"threshold"`
+	Vertices        int     `json:"vertices"`
+	Edges           int     `json:"edges"`
+	MeanDegree      float64 `json:"meanDegree"`
+	MaxDegree       int     `json:"maxDegree"`
+	Isolated        int     `json:"isolated"`
+	Components      int     `json:"components"`
+	DegreeHistogram []int   `json:"degreeHistogram"`
+	DensityProfile  []int   `json:"densityProfile"`
+}
+
+type histogramJSON struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Counts []int   `json:"counts"`
+}
+
+type cuesResponse struct {
+	SessionID         string        `json:"sessionId"`
+	Threshold         float64       `json:"threshold"`
+	Triangles         int64         `json:"triangles"`
+	TriangleHistogram histogramJSON `json:"triangleHistogram"`
+	DensityProfile    []int         `json:"densityProfile"`
+	CurveAt           float64       `json:"curveEstimate"`
+}
+
+// sweepRequest runs ProbeIncremental: a probe at threshold with extrapolated
+// estimates reported at the target thresholds every snapshot interval.
+type sweepRequest struct {
+	Threshold float64   `json:"threshold"`
+	Targets   []float64 `json:"targets"`
+	Snapshots int       `json:"snapshots,omitempty"`
+}
+
+type snapshotJSON struct {
+	PercentProcessed float64            `json:"percentProcessed"`
+	Estimates        map[string]float64 `json:"estimates"`
+}
+
+type sweepResponse struct {
+	SessionID string         `json:"sessionId"`
+	Threshold float64        `json:"threshold"`
+	Snapshots []snapshotJSON `json:"snapshots"`
+}
+
+type statsResponse struct {
+	StatsSnapshot
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Goroutines    int     `json:"goroutines"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, statsResponse{
+		StatsSnapshot: s.mgr.Snapshot(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+	})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{"sources": dataset.Sources()})
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createSessionRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
+		return
+	}
+	ds, spec, err := s.resolveDataset(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	params := req.Params.apply(bayeslsh.DefaultParams())
+	if s.cfg.Workers > 0 && (req.Params == nil || req.Params.Workers == nil) {
+		params.Workers = s.cfg.Workers
+	}
+	ms, err := s.mgr.Create(spec, ds, params, req.Seed)
+	if err != nil {
+		if errors.Is(err, ErrCapacity) {
+			s.writeError(w, http.StatusServiceUnavailable, "capacity", "%v", err)
+		} else {
+			s.writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, sessionInfoOf(ms))
+}
+
+// resolveDataset turns a create request into a dataset: exactly one of the
+// named spec, the dense upload, or the sparse upload must be present.
+func (s *Server) resolveDataset(req *createSessionRequest) (*vec.Dataset, dataset.Spec, error) {
+	set := 0
+	for _, present := range []bool{req.Dataset != nil, req.Dense != nil, req.Sparse != nil} {
+		if present {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, dataset.Spec{}, fmt.Errorf("exactly one of dataset, dense, or sparse must be set (got %d)", set)
+	}
+	if req.Dataset != nil {
+		if req.Dataset.Seed == 0 {
+			req.Dataset.Seed = req.Seed
+		}
+		ds, err := dataset.Load(*req.Dataset)
+		if err != nil {
+			return nil, dataset.Spec{}, err
+		}
+		return ds, *req.Dataset, nil
+	}
+	measure := vec.CosineSim
+	switch req.Measure {
+	case "", "cosine":
+	case "jaccard":
+		measure = vec.JaccardSim
+	default:
+		return nil, dataset.Spec{}, fmt.Errorf("unknown measure %q (want cosine or jaccard)", req.Measure)
+	}
+	name := req.Name
+	if name == "" {
+		name = "uploaded"
+	}
+	if req.Dense != nil {
+		if len(req.Dense) < 2 {
+			return nil, dataset.Spec{}, fmt.Errorf("dense upload needs at least 2 rows, got %d", len(req.Dense))
+		}
+		ds := vec.FromDenseMatrix(name, req.Dense, measure)
+		ds.NormalizeRows()
+		return ds, dataset.Spec{}, nil
+	}
+	up := req.Sparse
+	if len(up.Rows) < 2 || up.Dim < 1 {
+		return nil, dataset.Spec{}, fmt.Errorf("sparse upload needs dim >= 1 and at least 2 rows")
+	}
+	ds := &vec.Dataset{Name: name, Dim: up.Dim, Measure: measure}
+	for ri, row := range up.Rows {
+		vals := row.Values
+		if vals == nil {
+			vals = make([]float64, len(row.Indices))
+			for i := range vals {
+				vals[i] = 1
+			}
+		}
+		if len(vals) != len(row.Indices) {
+			return nil, dataset.Spec{}, fmt.Errorf("sparse row %d: %d indices but %d values", ri, len(row.Indices), len(vals))
+		}
+		for i, ix := range row.Indices {
+			if ix < 0 || int(ix) >= up.Dim {
+				return nil, dataset.Spec{}, fmt.Errorf("sparse row %d: index %d out of range [0, %d)", ri, ix, up.Dim)
+			}
+			if i > 0 && row.Indices[i-1] >= ix {
+				return nil, dataset.Spec{}, fmt.Errorf("sparse row %d: indices must be strictly increasing", ri)
+			}
+		}
+		ds.Rows = append(ds.Rows, vec.Sparse{Indices: row.Indices, Values: vals})
+	}
+	ds.NormalizeRows()
+	return ds, dataset.Spec{}, nil
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	list := s.mgr.List()
+	infos := make([]sessionInfo, len(list))
+	for i, ms := range list {
+		infos[i] = sessionInfoOf(ms)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	ms, release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	s.writeJSON(w, http.StatusOK, sessionInfoOf(ms))
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.mgr.Remove(id); err != nil {
+		s.writeError(w, http.StatusNotFound, "not_found", "no session %q", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
+	var req probeRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
+		return
+	}
+	if req.Threshold < -1 || req.Threshold > 1 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "threshold must be in [-1, 1], got %v", req.Threshold)
+		return
+	}
+	ms, release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	// The probe keeps the session busy (eviction-exempt) until it finishes,
+	// even if this request times out first and the run continues detached.
+	type outcome struct {
+		res       *bayeslsh.Result
+		coalesced bool
+		err       error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer release()
+		// This goroutine outlives the request handler on timeout, so the
+		// recovery middleware cannot cover it: a panic here must become an
+		// error, not a process crash for every tenant.
+		defer func() {
+			if rec := recover(); rec != nil {
+				ch <- outcome{err: fmt.Errorf("probe panicked: %v", rec)}
+			}
+		}()
+		res, coalesced, err := ms.Probe(req.Threshold, req.Workers, &s.mgr.stats)
+		ch <- outcome{res, coalesced, err}
+	}()
+	select {
+	case <-r.Context().Done():
+		s.writeError(w, http.StatusServiceUnavailable, "timeout",
+			"probe at t=%v still running; its evidence will land in the session cache", req.Threshold)
+		return
+	case out := <-ch:
+		if out.err != nil {
+			s.writeError(w, http.StatusInternalServerError, "internal", "probe failed: %v", out.err)
+			return
+		}
+		resp := probeResponse{
+			SessionID:      ms.ID,
+			Threshold:      req.Threshold,
+			PairCount:      len(out.res.Pairs),
+			Candidates:     out.res.Candidates,
+			Pruned:         out.res.Pruned,
+			CacheHits:      out.res.CacheHits,
+			HashesCompared: out.res.HashesCompared,
+			ProcessMillis:  float64(out.res.ProcessTime) / float64(time.Millisecond),
+			Coalesced:      out.coalesced,
+		}
+		if req.IncludePairs {
+			pairs := out.res.Pairs
+			if req.MaxPairs > 0 && len(pairs) > req.MaxPairs {
+				pairs = pairs[:req.MaxPairs]
+			}
+			resp.Pairs = make([]pairJSON, len(pairs))
+			for i, p := range pairs {
+				resp.Pairs[i] = pairJSON{I: p.I, J: p.J, Est: p.Est}
+			}
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
+	ms, release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	lo := queryFloat(r, "lo", 0.3)
+	hi := queryFloat(r, "hi", 0.95)
+	steps := queryInt(r, "steps", 14)
+	if steps < 1 || steps > 10000 || hi < lo {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "want lo <= hi and 1 <= steps <= 10000")
+		return
+	}
+	grid := core.ThresholdGrid(lo, hi, steps)
+	pts := ms.Session.CumulativeAPSS(grid)
+	resp := curveResponse{SessionID: ms.ID, Knee: core.FindKnee(pts)}
+	resp.Points = make([]curvePointJSON, len(pts))
+	for i, p := range pts {
+		resp.Points[i] = curvePointJSON{Threshold: p.Threshold, Estimate: p.Estimate, ErrBar: p.ErrBar}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.threshold(w, r)
+	if !ok {
+		return
+	}
+	ms, release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	// One graph materialization (a full cache scan) serves every field.
+	g := ms.Session.ThresholdGraph(t)
+	resp := graphResponse{
+		SessionID:  ms.ID,
+		Threshold:  t,
+		Vertices:   g.N(),
+		Edges:      g.M(),
+		MeanDegree: g.MeanDegree(),
+	}
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > resp.MaxDegree {
+			resp.MaxDegree = d
+		} else if d == 0 {
+			resp.Isolated++
+		}
+	}
+	_, resp.Components = g.ConnectedComponents()
+	hist := make([]int, resp.MaxDegree+1)
+	for v := 0; v < g.N(); v++ {
+		hist[g.Degree(v)]++
+	}
+	resp.DegreeHistogram = hist
+	resp.DensityProfile = topK(densityProfile(g), queryInt(r, "top", 50))
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// densityProfile is Session.DensityProfile computed from an
+// already-materialized graph, so one request never rebuilds the threshold
+// graph (each build is a full pair-cache scan).
+func densityProfile(g *graph.Graph) []int {
+	cores := g.CoreNumbers()
+	sort.Sort(sort.Reverse(sort.IntSlice(cores)))
+	return cores
+}
+
+func (s *Server) handleCues(w http.ResponseWriter, r *http.Request) {
+	t, ok := s.threshold(w, r)
+	if !ok {
+		return
+	}
+	ms, release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	bins := queryInt(r, "bins", 8)
+	if bins < 1 || bins > 1000 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "bins must be in [1, 1000]")
+		return
+	}
+	// Materialize the threshold graph once and derive every cue from it:
+	// triangle incidences give both the count (each triangle is incident on
+	// 3 vertices) and the Fig 2.5b histogram, cores give the Fig 2.5c
+	// profile. Only CurveAt scans the pair cache again, for the estimate.
+	g := ms.Session.ThresholdGraph(t)
+	per := g.TrianglesPerVertex()
+	xs := make([]float64, len(per))
+	var hi float64
+	var incidences int64
+	for i, c := range per {
+		xs[i] = float64(c)
+		incidences += c
+		if xs[i] > hi {
+			hi = xs[i]
+		}
+	}
+	h := stats.NewHistogram(xs, bins, 0, hi+1)
+	resp := cuesResponse{
+		SessionID:         ms.ID,
+		Threshold:         t,
+		Triangles:         incidences / 3,
+		TriangleHistogram: histogramJSON{Lo: h.Lo, Hi: h.Hi, Counts: h.Counts},
+		DensityProfile:    topK(densityProfile(g), queryInt(r, "top", 50)),
+		CurveAt:           ms.Session.CurveAt(t).Estimate,
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
+		return
+	}
+	if req.Threshold < -1 || req.Threshold > 1 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "threshold must be in [-1, 1], got %v", req.Threshold)
+		return
+	}
+	// Each snapshot scans the pair cache once per target, so both knobs are
+	// capped like curve's steps and cues' bins.
+	if len(req.Targets) > 256 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "at most 256 targets, got %d", len(req.Targets))
+		return
+	}
+	if req.Snapshots > 1000 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "at most 1000 snapshots, got %d", req.Snapshots)
+		return
+	}
+	if len(req.Targets) == 0 {
+		req.Targets = []float64{req.Threshold}
+	}
+	ms, release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	type outcome struct {
+		snaps []core.IncrementalSnapshot
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer release()
+		// Same detachment as handleProbe: recover here, where the recovery
+		// middleware cannot reach.
+		defer func() {
+			if rec := recover(); rec != nil {
+				ch <- outcome{err: fmt.Errorf("sweep panicked: %v", rec)}
+			}
+		}()
+		snaps, err := ms.Session.ProbeIncremental(req.Threshold, req.Targets, req.Snapshots)
+		s.mgr.stats.Probes.Add(1)
+		ch <- outcome{snaps, err}
+	}()
+	select {
+	case <-r.Context().Done():
+		s.writeError(w, http.StatusServiceUnavailable, "timeout",
+			"sweep at t=%v still running; its evidence will land in the session cache", req.Threshold)
+		return
+	case out := <-ch:
+		if out.err != nil {
+			s.writeError(w, http.StatusInternalServerError, "internal", "sweep failed: %v", out.err)
+			return
+		}
+		resp := sweepResponse{SessionID: ms.ID, Threshold: req.Threshold}
+		for _, snap := range out.snaps {
+			sj := snapshotJSON{PercentProcessed: snap.PercentProcessed, Estimates: make(map[string]float64, len(snap.Estimates))}
+			for t2, est := range snap.Estimates {
+				sj.Estimates[strconv.FormatFloat(t2, 'g', -1, 64)] = est
+			}
+			resp.Snapshots = append(resp.Snapshots, sj)
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// topK truncates a profile to its first k entries (it is already sorted
+// descending); k <= 0 keeps everything.
+func topK(xs []int, k int) []int {
+	if k > 0 && len(xs) > k {
+		return xs[:k]
+	}
+	return xs
+}

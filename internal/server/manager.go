@@ -1,0 +1,253 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"plasmahd/internal/bayeslsh"
+	"plasmahd/internal/core"
+	"plasmahd/internal/dataset"
+	"plasmahd/internal/vec"
+)
+
+// ErrCapacity is returned when the manager is full and every resident
+// session is busy, so nothing can be evicted to make room.
+var ErrCapacity = errors.New("server: session capacity reached and all sessions are busy")
+
+// ErrNotFound is returned for unknown session IDs (including evicted ones).
+var ErrNotFound = errors.New("server: no such session")
+
+// Manager owns the named probe sessions of a plasmad instance. Sessions are
+// keyed by ID; at capacity the least-recently-used *idle* session is evicted
+// to admit a new one (a session is idle when no request holds it). All
+// methods are safe for concurrent use — the point of the server is that many
+// clients share one manager, and many clients share one session's knowledge
+// cache.
+type Manager struct {
+	capacity int
+	nextID   atomic.Int64
+	stats    Stats
+
+	mu       sync.Mutex
+	sessions map[string]*ManagedSession
+}
+
+// NewManager returns an empty manager admitting up to capacity resident
+// sessions (minimum 1).
+func NewManager(capacity int) *Manager {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Manager{capacity: capacity, sessions: make(map[string]*ManagedSession)}
+}
+
+// Stats is the manager's atomic counter block, read without locks by
+// GET /v1/stats while requests are in flight.
+type Stats struct {
+	SessionsCreated atomic.Int64
+	SessionsEvicted atomic.Int64
+	SessionsDeleted atomic.Int64
+	Probes          atomic.Int64
+	ProbesCoalesced atomic.Int64
+	Requests        atomic.Int64
+	Errors          atomic.Int64
+}
+
+// StatsSnapshot is the JSON form of the counter block.
+type StatsSnapshot struct {
+	Sessions        int   `json:"sessions"`
+	Capacity        int   `json:"capacity"`
+	SessionsCreated int64 `json:"sessionsCreated"`
+	SessionsEvicted int64 `json:"sessionsEvicted"`
+	SessionsDeleted int64 `json:"sessionsDeleted"`
+	Probes          int64 `json:"probes"`
+	ProbesCoalesced int64 `json:"probesCoalesced"`
+	Requests        int64 `json:"requests"`
+	Errors          int64 `json:"errors"`
+}
+
+// Snapshot reads the counters.
+func (m *Manager) Snapshot() StatsSnapshot {
+	m.mu.Lock()
+	n := len(m.sessions)
+	m.mu.Unlock()
+	return StatsSnapshot{
+		Sessions:        n,
+		Capacity:        m.capacity,
+		SessionsCreated: m.stats.SessionsCreated.Load(),
+		SessionsEvicted: m.stats.SessionsEvicted.Load(),
+		SessionsDeleted: m.stats.SessionsDeleted.Load(),
+		Probes:          m.stats.Probes.Load(),
+		ProbesCoalesced: m.stats.ProbesCoalesced.Load(),
+		Requests:        m.stats.Requests.Load(),
+		Errors:          m.stats.Errors.Load(),
+	}
+}
+
+// ManagedSession wraps one core.Session with the bookkeeping the server
+// needs: an ID, LRU and busy accounting, and the per-threshold singleflight
+// table that coalesces duplicate in-flight probes.
+type ManagedSession struct {
+	ID      string
+	Spec    dataset.Spec // zero for uploaded datasets
+	Session *core.Session
+	Created time.Time
+
+	lastUsed atomic.Int64 // unix nanos; LRU eviction order
+	active   atomic.Int64 // requests currently holding the session
+
+	flightMu sync.Mutex
+	flight   map[float64]*probeFlight
+}
+
+// probeFlight is one in-flight probe that later duplicate requests at the
+// same threshold attach to instead of re-running.
+type probeFlight struct {
+	done chan struct{}
+	res  *bayeslsh.Result
+	err  error
+}
+
+// touch records a use for LRU ordering.
+func (ms *ManagedSession) touch() { ms.lastUsed.Store(time.Now().UnixNano()) }
+
+// release undoes Acquire.
+func (ms *ManagedSession) release() { ms.active.Add(-1) }
+
+// Idle reports whether no request currently holds the session.
+func (ms *ManagedSession) Idle() bool { return ms.active.Load() == 0 }
+
+// LastUsed returns the time of the session's most recent use.
+func (ms *ManagedSession) LastUsed() time.Time { return time.Unix(0, ms.lastUsed.Load()) }
+
+// Probe runs (or joins) a probe at threshold t. Duplicate in-flight probes
+// at the same threshold coalesce onto one engine run via the singleflight
+// table — with a shared knowledge cache a second concurrent run at the same
+// threshold could only redo identical hash comparisons. coalesced reports
+// whether this call joined an existing run. A per-call worker override only
+// applies to the run this call starts (joiners inherit the owner's pool).
+func (ms *ManagedSession) Probe(t float64, workers int, stats *Stats) (res *bayeslsh.Result, coalesced bool, err error) {
+	ms.flightMu.Lock()
+	if f, ok := ms.flight[t]; ok {
+		ms.flightMu.Unlock()
+		<-f.done
+		if stats != nil {
+			stats.ProbesCoalesced.Add(1)
+		}
+		return f.res, true, f.err
+	}
+	f := &probeFlight{done: make(chan struct{})}
+	if ms.flight == nil {
+		ms.flight = make(map[float64]*probeFlight)
+	}
+	ms.flight[t] = f
+	ms.flightMu.Unlock()
+
+	f.res, f.err = ms.Session.ProbeWorkers(t, workers)
+	if stats != nil {
+		stats.Probes.Add(1)
+	}
+
+	ms.flightMu.Lock()
+	delete(ms.flight, t)
+	ms.flightMu.Unlock()
+	close(f.done)
+	return f.res, false, f.err
+}
+
+// Create sketches ds into a new session and registers it, evicting the
+// least-recently-used idle session if the manager is at capacity. Sketching
+// happens outside the manager lock — it is the expensive start-up cost of
+// Fig 2.9 — so concurrent creates do not serialize on it.
+func (m *Manager) Create(spec dataset.Spec, ds *vec.Dataset, p bayeslsh.Params, seed int64) (*ManagedSession, error) {
+	sess := core.NewSession(ds, p, seed)
+	ms := &ManagedSession{
+		ID:      fmt.Sprintf("s%d", m.nextID.Add(1)),
+		Spec:    spec,
+		Session: sess,
+		Created: time.Now(),
+	}
+	ms.touch()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.sessions) >= m.capacity {
+		victim := m.lruIdleLocked()
+		if victim == nil {
+			return nil, ErrCapacity
+		}
+		delete(m.sessions, victim.ID)
+		m.stats.SessionsEvicted.Add(1)
+	}
+	m.sessions[ms.ID] = ms
+	m.stats.SessionsCreated.Add(1)
+	return ms, nil
+}
+
+// lruIdleLocked returns the idle session with the oldest last use, or nil
+// when every resident session is held by a request. Callers hold m.mu.
+func (m *Manager) lruIdleLocked() *ManagedSession {
+	var victim *ManagedSession
+	for _, ms := range m.sessions {
+		if !ms.Idle() {
+			continue
+		}
+		if victim == nil || ms.lastUsed.Load() < victim.lastUsed.Load() {
+			victim = ms
+		}
+	}
+	return victim
+}
+
+// Acquire returns the session and marks it busy (exempt from eviction) and
+// recently used. Callers must call the returned release exactly once.
+func (m *Manager) Acquire(id string) (*ManagedSession, func(), error) {
+	m.mu.Lock()
+	ms, ok := m.sessions[id]
+	if ok {
+		// Mark busy under the lock so eviction cannot race the handoff.
+		ms.active.Add(1)
+		ms.touch()
+	}
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	return ms, ms.release, nil
+}
+
+// Remove deletes a session by ID (explicit DELETE, not eviction).
+func (m *Manager) Remove(id string) error {
+	m.mu.Lock()
+	_, ok := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	m.stats.SessionsDeleted.Add(1)
+	return nil
+}
+
+// List returns the resident sessions sorted by ID.
+func (m *Manager) List() []*ManagedSession {
+	m.mu.Lock()
+	out := make([]*ManagedSession, 0, len(m.sessions))
+	for _, ms := range m.sessions {
+		out = append(out, ms)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// Len returns the number of resident sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}

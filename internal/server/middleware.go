@@ -1,0 +1,57 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// statusWriter captures the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// middleware wraps every route with, outermost first: request counting and
+// logging, panic recovery (500 + JSON envelope), the per-request deadline,
+// and the request-body size cap.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mgr.stats.Requests.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.mgr.stats.Errors.Add(1)
+				// The handler may have written nothing yet; best-effort
+				// envelope (WriteHeader after a partial body is a no-op).
+				s.writeJSON(sw, http.StatusInternalServerError,
+					errorEnvelope{Error: errorBody{Code: "internal", Message: "internal server error"}})
+			}
+			s.logf("%s %s -> %d (%v)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+		}()
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		}
+		next.ServeHTTP(sw, r)
+	})
+}

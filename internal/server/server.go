@@ -1,0 +1,111 @@
+// Package server implements plasmad, the multi-tenant HTTP/JSON daemon over
+// core.Session: many named probe sessions, each safely shared by concurrent
+// clients over one knowledge cache (PR 1's concurrency guarantees are the
+// substrate). The paper's Fig 2.1 loop — probe at t1, inspect estimates and
+// cues, choose the next t — maps one-to-one onto the API: POST .../probe,
+// GET .../curve (with knee suggestion), GET .../cues, repeat.
+//
+// The Manager enforces a session capacity with LRU eviction of idle
+// sessions and coalesces duplicate in-flight probes at the same threshold
+// (singleflight): with a shared cache, a second concurrent identical probe
+// could only redo identical hash comparisons. Everything is stdlib
+// net/http; docs/API.md documents the wire format (a test keeps it in
+// lock-step with the route table).
+package server
+
+import (
+	"context"
+	"log"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Config holds the daemon's knobs; zero values get production-shaped
+// defaults from New.
+type Config struct {
+	Addr           string        // listen address (default 127.0.0.1:8080)
+	Capacity       int           // max resident sessions (default 16)
+	Workers        int           // default engine workers per session (0 = all cores)
+	RequestTimeout time.Duration // per-request deadline (default 60s; <0 disables)
+	MaxBodyBytes   int64         // request-body cap (default 32 MiB; <0 disables)
+	Logger         *log.Logger   // request log (nil = silent)
+}
+
+// Server is the assembled daemon: a Manager plus the HTTP surface.
+type Server struct {
+	cfg   Config
+	mgr   *Manager
+	mux   *http.ServeMux
+	hsrv  *http.Server
+	start time.Time
+}
+
+// New builds a server (routes registered, not yet listening).
+func New(cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:8080"
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = 16
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	s := &Server{cfg: cfg, mgr: NewManager(cfg.Capacity), mux: http.NewServeMux(), start: time.Now()}
+	for _, rt := range s.Routes() {
+		s.mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
+	}
+	s.hsrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Manager exposes the session manager (tests and embedders).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Handler returns the full middleware-wrapped HTTP handler, ready to mount
+// in httptest or another mux.
+func (s *Server) Handler() http.Handler { return s.middleware(s.mux) }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// ListenAndServe binds cfg.Addr and serves until ctx is cancelled, then
+// shuts down gracefully (in-flight requests drain). Passing ":0" picks a
+// random port; the bound address is logged as "plasmad listening on ...".
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve runs the daemon on an existing listener until ctx is cancelled.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.logf("plasmad listening on %s", ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- s.hsrv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := s.hsrv.Shutdown(sctx)
+		s.logf("plasmad shut down")
+		return err
+	case err := <-errc:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	}
+}

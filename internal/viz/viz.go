@@ -1,7 +1,15 @@
 // Package viz renders experiment output as aligned text tables and ASCII
 // charts. It stands in for the paper's gnuplot/matplotlib figures: every
-// "figure" experiment emits its series both as a TSV block (replottable)
-// and as a quick terminal chart.
+// "figure" experiment emits its series both as a TSV block (replottable
+// with any plotting tool) and as a quick terminal chart, so a reproduction
+// run is inspectable without leaving the shell.
+//
+// The surface is four functions: Table writes an aligned text table, TSV
+// writes the same rows as a titled tab-separated block, Chart draws one or
+// more y-series over a shared x-axis as a fixed-height ASCII plot (series
+// are labelled by map key, log-ish ranges are handled by the caller), and
+// F formats a float compactly for table cells. Everything writes to an
+// io.Writer, so CLIs, experiments, and tests share the renderers.
 package viz
 
 import (

@@ -1,0 +1,74 @@
+#!/bin/sh
+# smoke-server.sh — the daemon smoke tier: build plasmad, start it on a
+# random port, run one full Fig 2.1 loop over HTTP (create session → probe
+# → curve → cues → stats), and shut it down cleanly with SIGTERM. Fails if
+# any request errors or the daemon does not exit gracefully.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
+
+echo "smoke-server: building plasmad"
+go build -o "$workdir/plasmad" ./cmd/plasmad
+
+"$workdir/plasmad" -addr 127.0.0.1:0 -capacity 4 2>"$workdir/plasmad.log" &
+pid=$!
+
+# The daemon logs "plasmad listening on 127.0.0.1:PORT" once bound.
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$workdir/plasmad.log" | head -n 1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "smoke-server: daemon died on startup"; cat "$workdir/plasmad.log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "smoke-server: never saw the listening line"; cat "$workdir/plasmad.log"; exit 1; }
+base="http://$addr"
+echo "smoke-server: daemon up at $base (pid $pid)"
+
+req() {
+    # req NAME EXPECTED_SUBSTRING CURL_ARGS... — expects HTTP success
+    name=$1; want=$2; shift 2
+    out=$(curl -sS --fail-with-body --max-time 30 "$@") || {
+        echo "smoke-server: $name failed: $out"; exit 1; }
+    case "$out" in
+        *"$want"*) echo "smoke-server: $name ok" ;;
+        *) echo "smoke-server: $name: expected '$want' in response: $out"; exit 1 ;;
+    esac
+}
+
+reqerr() {
+    # reqerr NAME EXPECTED_CODE CURL_ARGS... — expects the error envelope
+    name=$1; want=$2; shift 2
+    out=$(curl -sS --max-time 30 "$@") || {
+        echo "smoke-server: $name: transport error"; exit 1; }
+    case "$out" in
+        *"\"code\":\"$want\""*) echo "smoke-server: $name ok" ;;
+        *) echo "smoke-server: $name: expected error code '$want': $out"; exit 1 ;;
+    esac
+}
+
+req healthz '"status":"ok"' "$base/healthz"
+req create '"id":"s1"' -X POST "$base/v1/sessions" \
+    -d '{"dataset":{"kind":"toy"},"seed":1}'
+req probe '"pairCount"' -X POST "$base/v1/sessions/s1/probe" \
+    -d '{"threshold":0.5}'
+req curve '"knee"' "$base/v1/sessions/s1/curve?lo=0.3&hi=0.9&steps=7"
+req cues '"triangles"' "$base/v1/sessions/s1/cues?t=0.5"
+req stats '"probes":' "$base/v1/stats"
+reqerr badjson bad_request -X POST "$base/v1/sessions/s1/probe" -d '{nope'
+reqerr notfound not_found "$base/v1/sessions/zzz/curve"
+
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+    echo "smoke-server: daemon did not exit within 10s of SIGTERM"
+    exit 1
+fi
+wait "$pid" 2>/dev/null || true
+grep -q "plasmad shut down" "$workdir/plasmad.log" || {
+    echo "smoke-server: missing graceful-shutdown log line"; cat "$workdir/plasmad.log"; exit 1; }
+echo "smoke-server: clean shutdown — all checks passed"
