@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test short race bench bench-workers serve smoke-server ci
+# bench-json knobs: output path and dataset-size cap.
+BENCH_OUT ?= BENCH_new.json
+BENCH_SCALE ?= 100
+
+.PHONY: all build vet test short race bench bench-workers bench-json serve smoke-server ci
 
 all: build
 
@@ -30,6 +34,12 @@ bench:
 bench-workers:
 	$(GO) test -run xxx -bench 'BenchmarkSearchWorkers[0-9]+$$' -benchmem ./internal/bayeslsh
 
+# bench-json emits the machine-readable perf trajectory (per-experiment wall
+# times + knowledge-cache workload stats) to $(BENCH_OUT). Compare against
+# the checked-in BENCH_baseline.json.
+bench-json:
+	$(GO) run ./cmd/plasmabench -json -all -scale $(BENCH_SCALE) -seed 1 > $(BENCH_OUT)
+
 # serve runs the probe daemon on the default address (ADDR to override).
 serve:
 	$(GO) run ./cmd/plasmad -addr $(or $(ADDR),127.0.0.1:8080)
@@ -39,4 +49,4 @@ serve:
 smoke-server:
 	sh ./scripts/smoke-server.sh
 
-ci: vet build short race smoke-server
+ci: vet build short race smoke-server bench-json

@@ -8,8 +8,11 @@
 # Tier 2 (race): race-detector pass over the concurrent engine, session,
 # and server packages.
 # Tier 3 (daemon smoke): boot plasmad on a random port, run a probe/curve/
-# cues loop over HTTP, and verify graceful shutdown.
-# Tier 4 (full, optional via CI_FULL=1): the complete test suite including
+# cues loop over HTTP, exercise snapshot persistence and a warm restart,
+# and verify graceful shutdown.
+# Tier 4 (bench json): plasmabench -json must produce a well-formed
+# machine-readable report — the perf trajectory artifact.
+# Tier 5 (full, optional via CI_FULL=1): the complete test suite including
 # the seconds-long experiment sweeps.
 set -eu
 
@@ -22,8 +25,18 @@ make race
 echo "== tier 3: plasmad daemon smoke =="
 make smoke-server
 
+echo "== tier 4: plasmabench machine-readable report =="
+bench_out=$(mktemp)
+trap 'rm -f "$bench_out"' EXIT
+make bench-json BENCH_OUT="$bench_out" BENCH_SCALE=60
+grep -q '"schema": 1' "$bench_out" || {
+    echo "ci: bench-json produced no schema marker"; exit 1; }
+grep -q '"cachedPairs"' "$bench_out" || {
+    echo "ci: bench-json missing cache stats"; exit 1; }
+echo "ci: bench-json ok ($(wc -c < "$bench_out") bytes)"
+
 if [ "${CI_FULL:-0}" = "1" ]; then
-    echo "== tier 4: full test suite =="
+    echo "== tier 5: full test suite =="
     make test
 fi
 

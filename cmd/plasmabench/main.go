@@ -5,20 +5,69 @@
 //	plasmabench -list
 //	plasmabench -exp E2.7            # one experiment at default scale
 //	plasmabench -all -scale 200      # everything, capped datasets
+//	plasmabench -json -all -scale 100 > BENCH.json   # machine-readable
 //
 // Scale caps per-dataset row counts; 0 runs the default reproduction scale
 // recorded in EXPERIMENTS.md (minutes, not hours). Output is plain text:
 // aligned tables for the paper's tables, TSV/ASCII series for its figures.
+//
+// With -json, table/figure text is suppressed and a single JSON report is
+// written to stdout instead: per-experiment wall times plus the cache
+// statistics of a canonical knowledge-caching workload (sketch cost,
+// per-probe hash counts and cache hits, final cached-pair count) — the
+// machine-readable perf trajectory CI tracks across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"plasmahd/internal/core"
+	"plasmahd/internal/dataset"
 	"plasmahd/internal/experiments"
 )
+
+// benchReport is the -json output shape (schema 1). Wall times move with
+// the machine; the counter fields (candidates, pruned, cacheHits,
+// hashesCompared, cachedPairs) are deterministic for a given scale/seed
+// and comparable across commits.
+type benchReport struct {
+	Schema      int               `json:"schema"`
+	Scale       int               `json:"scale"`
+	Seed        int64             `json:"seed"`
+	Workers     int               `json:"workers"`
+	TotalMillis float64           `json:"totalMillis"`
+	Experiments []benchExperiment `json:"experiments"`
+	Cache       *benchCache       `json:"cache,omitempty"`
+}
+
+type benchExperiment struct {
+	ID     string  `json:"id"`
+	Paper  string  `json:"paper"`
+	Millis float64 `json:"millis"`
+}
+
+type benchCache struct {
+	Dataset      string       `json:"dataset"`
+	Rows         int          `json:"rows"`
+	SketchMillis float64      `json:"sketchMillis"`
+	Probes       []benchProbe `json:"probes"`
+	CachedPairs  int          `json:"cachedPairs"`
+}
+
+type benchProbe struct {
+	Threshold      float64 `json:"threshold"`
+	Millis         float64 `json:"millis"`
+	Pairs          int     `json:"pairs"`
+	Candidates     int     `json:"candidates"`
+	Pruned         int     `json:"pruned"`
+	CacheHits      int     `json:"cacheHits"`
+	HashesCompared int64   `json:"hashesCompared"`
+}
 
 func main() {
 	var (
@@ -28,24 +77,56 @@ func main() {
 		scale   = flag.Int("scale", 0, "cap dataset sizes (0 = default scale)")
 		seed    = flag.Int64("seed", 1, "generator seed")
 		workers = flag.Int("workers", 0, "probe-engine worker count (0 = all cores)")
+		jsonOut = flag.Bool("json", false, "emit one machine-readable JSON report on stdout (suppresses table/figure text)")
 	)
 	flag.Parse()
 	opt := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
+
+	runOne := func(e experiments.Experiment, out io.Writer) time.Duration {
+		start := time.Now()
+		if err := e.Run(out, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		return time.Since(start)
+	}
 
 	switch {
 	case *list:
 		for _, e := range experiments.All() {
 			fmt.Printf("%-6s %s\n", e.ID, e.Paper)
 		}
+	case *jsonOut:
+		selected := experiments.All()
+		if *exp != "" {
+			e, err := experiments.ByID(*exp)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = []experiments.Experiment{e}
+		}
+		report := benchReport{Schema: 1, Scale: *scale, Seed: *seed, Workers: *workers}
+		total := time.Now()
+		for _, e := range selected {
+			d := runOne(e, io.Discard)
+			report.Experiments = append(report.Experiments, benchExperiment{
+				ID: e.ID, Paper: e.Paper, Millis: millis(d),
+			})
+		}
+		report.Cache = cacheWorkload(opt)
+		report.TotalMillis = millis(time.Since(total))
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "plasmabench:", err)
+			os.Exit(1)
+		}
 	case *all:
 		for _, e := range experiments.All() {
 			fmt.Printf("==== %s — %s ====\n", e.ID, e.Paper)
-			start := time.Now()
-			if err := e.Run(os.Stdout, opt); err != nil {
-				fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-				os.Exit(1)
-			}
-			fmt.Printf("---- %s done in %v ----\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			d := runOne(e, os.Stdout)
+			fmt.Printf("---- %s done in %v ----\n\n", e.ID, d.Round(time.Millisecond))
 		}
 	case *exp != "":
 		e, err := experiments.ByID(*exp)
@@ -54,12 +135,51 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("==== %s — %s ====\n", e.ID, e.Paper)
-		if err := e.Run(os.Stdout, opt); err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
-			os.Exit(1)
-		}
+		runOne(e, os.Stdout)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// cacheWorkload probes a fixed descending threshold ladder on one shared
+// knowledge cache — the Fig 2.10 shape — and reports the cache statistics.
+// The counters are deterministic for a given scale/seed; wall times are
+// the perf trajectory.
+func cacheWorkload(opt experiments.Options) *benchCache {
+	rows := 400
+	if opt.Scale > 0 && opt.Scale < rows {
+		rows = opt.Scale
+	}
+	ds, err := dataset.NewCorpusScaled("twitter", rows, opt.Seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plasmabench: cache workload:", err)
+		return nil
+	}
+	sess := core.NewSession(ds, opt.Params(), opt.Seed)
+	out := &benchCache{
+		Dataset:      ds.Name,
+		Rows:         ds.N(),
+		SketchMillis: millis(sess.SketchTime()),
+	}
+	for _, t := range []float64{0.9, 0.8, 0.7, 0.8} { // repeat 0.8: pure cache hits
+		res, err := sess.Probe(t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plasmabench: cache workload:", err)
+			return nil
+		}
+		out.Probes = append(out.Probes, benchProbe{
+			Threshold:      t,
+			Millis:         millis(res.ProcessTime),
+			Pairs:          len(res.Pairs),
+			Candidates:     res.Candidates,
+			Pruned:         res.Pruned,
+			CacheHits:      res.CacheHits,
+			HashesCompared: res.HashesCompared,
+		})
+	}
+	out.CachedPairs = sess.CachedPairs()
+	return out
 }

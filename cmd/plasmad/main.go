@@ -9,6 +9,8 @@
 //	plasmad                          # listen on 127.0.0.1:8080
 //	plasmad -addr :9000 -capacity 32 -workers 4
 //	plasmad -addr 127.0.0.1:0        # random port, printed on startup
+//	plasmad -state-dir /var/lib/plasmad   # durable caches: warm starts,
+//	                                      # eviction spill-to-disk, shutdown save
 //
 // Quick tour (see docs/API.md for the full wire format):
 //
@@ -41,6 +43,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "default probe-engine workers per session (0 = all cores)")
 		timeout  = flag.Duration("timeout", 60*time.Second, "per-request deadline")
 		maxBody  = flag.Int64("max-body", 32<<20, "request-body size cap in bytes")
+		maxSnap  = flag.Int64("max-snapshot", 1<<30, "body cap for snapshot restore uploads in bytes")
+		stateDir = flag.String("state-dir", "", "directory for durable session snapshots: save on shutdown, warm start on boot, spill on eviction")
 		quiet    = flag.Bool("quiet", false, "suppress the request log")
 	)
 	flag.Parse()
@@ -50,12 +54,14 @@ func main() {
 		logger = nil
 	}
 	srv := server.New(server.Config{
-		Addr:           *addr,
-		Capacity:       *capacity,
-		Workers:        *workers,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		Logger:         logger,
+		Addr:             *addr,
+		Capacity:         *capacity,
+		Workers:          *workers,
+		RequestTimeout:   *timeout,
+		MaxBodyBytes:     *maxBody,
+		MaxSnapshotBytes: *maxSnap,
+		StateDir:         *stateDir,
+		Logger:           logger,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -51,6 +51,13 @@
 // probe/curve/cues loop of Fig 2.1. internal/server holds the manager and
 // handlers; docs/API.md documents every endpoint and is kept in lock-step
 // with the route table by a test.
+//
+// Knowledge caches are durable: every session snapshots to a versioned,
+// CRC-checked binary format (bayeslsh cache codec + core session codec),
+// and plasmad -state-dir saves on shutdown, warm-starts on boot, and
+// spills-then-revives on capacity eviction. Restores are deterministic —
+// a probe after restart returns exactly the bytes an uninterrupted
+// session would have produced.
 package plasmahd
 
 // Version identifies this reproduction.

@@ -102,6 +102,10 @@ type Cache struct {
 	Params  Params
 	Measure vec.Measure
 	N       int
+	// Seed is the sketch-family seed the cache was built with; it rides
+	// along in snapshots so a restored cache is identifiable and a re-sketch
+	// from the same dataset would reproduce the same signatures.
+	Seed int64
 
 	minSigs [][]uint32
 	srpSigs [][]uint64
@@ -131,6 +135,7 @@ func NewCache(ds *vec.Dataset, p Params, seed int64) *Cache {
 		Params:   p,
 		Measure:  ds.Measure,
 		N:        ds.N(),
+		Seed:     seed,
 		Pairs:    NewPairStore(),
 		pruneMax: make(map[float64][]int32),
 		conc:     make([][]bool, p.schedulePoints()),

@@ -1,0 +1,413 @@
+package bayeslsh
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"plasmahd/internal/vec"
+)
+
+// Snapshot codec for the knowledge cache. The format is a versioned binary
+// stream:
+//
+//	magic   "PLHDKCSN"                       (8 bytes)
+//	version uint16                           (currently 1)
+//	payload params, seed, measure, N, sketch time, sketches,
+//	        pair store shard-by-shard (entries sorted by key)
+//	crc     uint32 (Castagnoli) over magic+version+payload
+//
+// All integers are little-endian fixed width. Encoding is deterministic:
+// the same cache state always produces the same bytes, because pair entries
+// are written in sorted key order within each shard. Decoding validates the
+// magic, the version, every length field against sane bounds, and the
+// trailing checksum, so a corrupted or truncated snapshot fails loudly
+// instead of producing a silently-wrong cache.
+
+// cacheSnapMagic identifies a knowledge-cache snapshot stream.
+var cacheSnapMagic = [8]byte{'P', 'L', 'H', 'D', 'K', 'C', 'S', 'N'}
+
+// CacheSnapshotVersion is the current cache snapshot format version.
+const CacheSnapshotVersion uint16 = 1
+
+// Typed snapshot decode failures; all are wrapped with context, match with
+// errors.Is.
+var (
+	// ErrSnapshotMagic means the stream is not a knowledge-cache snapshot.
+	ErrSnapshotMagic = errors.New("bayeslsh: not a knowledge-cache snapshot (bad magic)")
+	// ErrSnapshotVersion means the snapshot was written by an incompatible
+	// format version.
+	ErrSnapshotVersion = errors.New("bayeslsh: unsupported snapshot version")
+	// ErrSnapshotChecksum means the payload does not match its CRC.
+	ErrSnapshotChecksum = errors.New("bayeslsh: snapshot checksum mismatch")
+	// ErrSnapshotCorrupt means a structural invariant failed during decode
+	// (impossible lengths, out-of-range keys, truncation).
+	ErrSnapshotCorrupt = errors.New("bayeslsh: corrupt snapshot")
+)
+
+const (
+	sketchKindMinhash = 0
+	sketchKindSRP     = 1
+
+	pairFlagDone     = 1 << 0
+	pairFlagHasExact = 1 << 1
+)
+
+// snapWriter accumulates a CRC over everything written and latches the first
+// error so encode code can stay straight-line.
+type snapWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+	err error
+}
+
+func newSnapWriter(w io.Writer) *snapWriter {
+	return &snapWriter{w: w, crc: crc32.New(crc32.MakeTable(crc32.Castagnoli))}
+}
+
+func (sw *snapWriter) bytes(b []byte) {
+	if sw.err != nil {
+		return
+	}
+	if _, err := sw.w.Write(b); err != nil {
+		sw.err = err
+		return
+	}
+	sw.crc.Write(b)
+}
+
+func (sw *snapWriter) u8(v uint8)    { sw.bytes([]byte{v}) }
+func (sw *snapWriter) u16(v uint16)  { sw.bytes(binary.LittleEndian.AppendUint16(nil, v)) }
+func (sw *snapWriter) u32(v uint32)  { sw.bytes(binary.LittleEndian.AppendUint32(nil, v)) }
+func (sw *snapWriter) u64(v uint64)  { sw.bytes(binary.LittleEndian.AppendUint64(nil, v)) }
+func (sw *snapWriter) i64(v int64)   { sw.u64(uint64(v)) }
+func (sw *snapWriter) f64(v float64) { sw.u64(math.Float64bits(v)) }
+func (sw *snapWriter) f32(v float32) { sw.u32(math.Float32bits(v)) }
+
+// finish appends the running CRC (the CRC itself is not CRC-covered).
+func (sw *snapWriter) finish() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	_, err := sw.w.Write(binary.LittleEndian.AppendUint32(nil, sw.crc.Sum32()))
+	return err
+}
+
+// snapReader mirrors snapWriter: every read feeds the CRC, the first error
+// latches, and structural violations become ErrSnapshotCorrupt.
+type snapReader struct {
+	r   io.Reader
+	crc hash.Hash32
+	err error
+}
+
+func newSnapReader(r io.Reader) *snapReader {
+	return &snapReader{r: r, crc: crc32.New(crc32.MakeTable(crc32.Castagnoli))}
+}
+
+func (sr *snapReader) bytes(n int) []byte {
+	if sr.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(sr.r, b); err != nil {
+		sr.err = fmt.Errorf("%w: truncated stream: %v", ErrSnapshotCorrupt, err)
+		return nil
+	}
+	sr.crc.Write(b)
+	return b
+}
+
+func (sr *snapReader) u8() uint8 {
+	b := sr.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (sr *snapReader) u16() uint16 {
+	b := sr.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (sr *snapReader) u32() uint32 {
+	b := sr.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (sr *snapReader) u64() uint64 {
+	b := sr.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (sr *snapReader) i64() int64   { return int64(sr.u64()) }
+func (sr *snapReader) f64() float64 { return math.Float64frombits(sr.u64()) }
+func (sr *snapReader) f32() float32 { return math.Float32frombits(sr.u32()) }
+
+// corrupt latches a structural-violation error.
+func (sr *snapReader) corrupt(format string, args ...any) {
+	if sr.err == nil {
+		sr.err = fmt.Errorf("%w: %s", ErrSnapshotCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+// verifyCRC reads the trailing checksum (outside the CRC stream) and
+// compares it with the running value.
+func (sr *snapReader) verifyCRC() error {
+	if sr.err != nil {
+		return sr.err
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(sr.r, b[:]); err != nil {
+		return fmt.Errorf("%w: missing checksum: %v", ErrSnapshotCorrupt, err)
+	}
+	if got, want := binary.LittleEndian.Uint32(b[:]), sr.crc.Sum32(); got != want {
+		return fmt.Errorf("%w: stored %08x computed %08x", ErrSnapshotChecksum, got, want)
+	}
+	return nil
+}
+
+// EncodeSnapshot serializes the cache — params, seed, sketches, and the
+// pair store shard-by-shard — to w in the versioned binary snapshot format.
+// It is safe to call while probes are in flight: the sketches are immutable
+// and each pair-store stripe is captured under its read lock, so the
+// snapshot sees a consistent monotone prefix of the cache's evidence.
+// Encoding is deterministic for a quiescent cache.
+func (c *Cache) EncodeSnapshot(w io.Writer) error {
+	sw := newSnapWriter(w)
+	sw.bytes(cacheSnapMagic[:])
+	sw.u16(CacheSnapshotVersion)
+
+	p := c.Params
+	sw.f64(p.Epsilon)
+	sw.f64(p.Delta)
+	sw.f64(p.Gamma)
+	sw.u32(uint32(p.MaxHashes))
+	sw.u32(uint32(p.Step))
+	sw.f64(p.MaxDFFrac)
+	if p.Lite {
+		sw.u8(1)
+	} else {
+		sw.u8(0)
+	}
+	sw.u32(uint32(p.Workers))
+	sw.i64(c.Seed)
+	sw.u8(uint8(c.Measure))
+	sw.u32(uint32(c.N))
+	sw.i64(int64(c.SketchTime))
+
+	if c.minSigs != nil {
+		sw.u8(sketchKindMinhash)
+		for _, sig := range c.minSigs {
+			sw.u32(uint32(len(sig)))
+			for _, v := range sig {
+				sw.u32(v)
+			}
+		}
+	} else {
+		sw.u8(sketchKindSRP)
+		for _, sig := range c.srpSigs {
+			sw.u32(uint32(len(sig)))
+			for _, v := range sig {
+				sw.u64(v)
+			}
+		}
+	}
+
+	sw.u32(uint32(c.Pairs.Shards()))
+	type entry struct {
+		key uint64
+		ps  PairState
+	}
+	for sh := 0; sh < c.Pairs.Shards(); sh++ {
+		var entries []entry
+		c.Pairs.RangeShard(sh, func(key uint64, ps PairState) {
+			entries = append(entries, entry{key, ps})
+		})
+		sort.Slice(entries, func(a, b int) bool { return entries[a].key < entries[b].key })
+		sw.u32(uint32(len(entries)))
+		for _, e := range entries {
+			sw.u64(e.key)
+			sw.u32(uint32(e.ps.M))
+			sw.u32(uint32(e.ps.N))
+			var flags uint8
+			if e.ps.Done {
+				flags |= pairFlagDone
+			}
+			if e.ps.HasExact {
+				flags |= pairFlagHasExact
+			}
+			sw.u8(flags)
+			sw.f32(e.ps.Exact)
+		}
+	}
+	return sw.finish()
+}
+
+// decode bounds: generous ceilings that a real cache never exceeds but a
+// corrupt length field easily does, so decode fails before allocating.
+const (
+	maxSnapRows      = 1 << 28
+	maxSnapMaxHashes = 1 << 20
+)
+
+// DecodeSnapshot reads a cache snapshot written by EncodeSnapshot,
+// reconstructing the decision tables (which are pure functions of the
+// params) and leaving the per-threshold prune bounds to be rebuilt lazily.
+// The returned cache is immediately usable by SearchWorkers and yields
+// byte-identical probe results to the cache it was encoded from.
+func DecodeSnapshot(r io.Reader) (*Cache, error) {
+	sr := newSnapReader(r)
+	magic := sr.bytes(8)
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if [8]byte(magic) != cacheSnapMagic {
+		return nil, fmt.Errorf("%w: got %q", ErrSnapshotMagic, magic)
+	}
+	if v := sr.u16(); sr.err == nil && v != CacheSnapshotVersion {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrSnapshotVersion, v, CacheSnapshotVersion)
+	}
+
+	var p Params
+	p.Epsilon = sr.f64()
+	p.Delta = sr.f64()
+	p.Gamma = sr.f64()
+	p.MaxHashes = int(sr.u32())
+	p.Step = int(sr.u32())
+	p.MaxDFFrac = sr.f64()
+	p.Lite = sr.u8() != 0
+	p.Workers = int(int32(sr.u32()))
+	seed := sr.i64()
+	measure := vec.Measure(sr.u8())
+	n := int(sr.u32())
+	sketchTime := time.Duration(sr.i64())
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if p.MaxHashes < 1 || p.MaxHashes > maxSnapMaxHashes {
+		sr.corrupt("MaxHashes %d out of range", p.MaxHashes)
+	}
+	if p.Step < 1 || p.Step > p.MaxHashes {
+		sr.corrupt("Step %d out of range for MaxHashes %d", p.Step, p.MaxHashes)
+	}
+	if measure != vec.CosineSim && measure != vec.JaccardSim {
+		sr.corrupt("unknown measure %d", int(measure))
+	}
+	if n < 0 || n > maxSnapRows {
+		sr.corrupt("row count %d out of range", n)
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+
+	c := &Cache{
+		Params:     p,
+		Measure:    measure,
+		N:          n,
+		Seed:       seed,
+		Pairs:      NewPairStore(),
+		SketchTime: sketchTime,
+		pruneMax:   make(map[float64][]int32),
+		conc:       make([][]bool, p.schedulePoints()),
+	}
+
+	switch kind := sr.u8(); kind {
+	case sketchKindMinhash:
+		c.minSigs = make([][]uint32, n)
+		for i := 0; i < n && sr.err == nil; i++ {
+			ln := int(sr.u32())
+			if ln > p.MaxHashes {
+				sr.corrupt("row %d: minhash signature length %d exceeds MaxHashes %d", i, ln, p.MaxHashes)
+				break
+			}
+			sig := make([]uint32, ln)
+			for k := range sig {
+				sig[k] = sr.u32()
+			}
+			c.minSigs[i] = sig
+		}
+	case sketchKindSRP:
+		words := (p.MaxHashes + 63) / 64
+		c.srpSigs = make([][]uint64, n)
+		for i := 0; i < n && sr.err == nil; i++ {
+			ln := int(sr.u32())
+			if ln > words {
+				sr.corrupt("row %d: SRP signature length %d exceeds %d words", i, ln, words)
+				break
+			}
+			sig := make([]uint64, ln)
+			for k := range sig {
+				sig[k] = sr.u64()
+			}
+			c.srpSigs[i] = sig
+		}
+	default:
+		sr.corrupt("unknown sketch kind %d", kind)
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+
+	shards := int(sr.u32())
+	if shards < 1 || shards > 1<<16 {
+		sr.corrupt("shard count %d out of range", shards)
+	}
+	for sh := 0; sh < shards && sr.err == nil; sh++ {
+		count := int(sr.u32())
+		if count < 0 || count > maxSnapRows {
+			sr.corrupt("shard %d: entry count %d out of range", sh, count)
+			break
+		}
+		for e := 0; e < count && sr.err == nil; e++ {
+			key := sr.u64()
+			var ps PairState
+			ps.M = int32(sr.u32())
+			ps.N = int32(sr.u32())
+			flags := sr.u8()
+			ps.Done = flags&pairFlagDone != 0
+			ps.HasExact = flags&pairFlagHasExact != 0
+			ps.Exact = sr.f32()
+			if sr.err != nil {
+				break
+			}
+			i, j := UnpackKey(key)
+			if i < 0 || j <= i || int(j) >= n {
+				sr.corrupt("shard %d: pair key (%d,%d) out of range for %d rows", sh, i, j, n)
+				break
+			}
+			if ps.M < 0 || ps.N < ps.M || int(ps.N) > p.MaxHashes {
+				sr.corrupt("pair (%d,%d): evidence %d/%d out of range", i, j, ps.M, ps.N)
+				break
+			}
+			c.Pairs.Update(key, ps)
+		}
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if err := sr.verifyCRC(); err != nil {
+		return nil, err
+	}
+
+	for k := range c.conc {
+		c.conc[k] = c.buildConcRow(k)
+	}
+	return c, nil
+}

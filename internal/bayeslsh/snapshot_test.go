@@ -1,0 +1,209 @@
+package bayeslsh
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"plasmahd/internal/vec"
+)
+
+// snapDataset builds a small deterministic cosine dataset.
+func snapDataset(n int) *vec.Dataset {
+	ds := &vec.Dataset{Name: "snap", Dim: 24, Measure: vec.CosineSim}
+	for i := 0; i < n; i++ {
+		var row vec.Sparse
+		for d := int32(0); d < 24; d++ {
+			if (int(d)+i)%3 == 0 {
+				row.Indices = append(row.Indices, d)
+				row.Values = append(row.Values, float64(1+(i+int(d))%5))
+			}
+		}
+		ds.Rows = append(ds.Rows, row)
+	}
+	ds.NormalizeRows()
+	return ds
+}
+
+// snapJaccardDataset builds a small deterministic Jaccard dataset.
+func snapJaccardDataset(n int) *vec.Dataset {
+	ds := &vec.Dataset{Name: "snapjac", Dim: 40, Measure: vec.JaccardSim}
+	for i := 0; i < n; i++ {
+		var row vec.Sparse
+		for d := int32(0); d < 40; d++ {
+			if (int(d)*7+i*3)%5 < 2 {
+				row.Indices = append(row.Indices, d)
+				row.Values = append(row.Values, 1)
+			}
+		}
+		ds.Rows = append(ds.Rows, row)
+	}
+	return ds
+}
+
+func probeAll(t *testing.T, ds *vec.Dataset, c *Cache, thresholds []float64, workers int) []*Result {
+	t.Helper()
+	out := make([]*Result, len(thresholds))
+	for i, th := range thresholds {
+		res, err := SearchWorkers(ds, th, c, nil, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = res
+	}
+	return out
+}
+
+func sameResults(t *testing.T, a, b []*Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for k := range a {
+		ra, rb := a[k], b[k]
+		if len(ra.Pairs) != len(rb.Pairs) {
+			t.Fatalf("t=%v: %d vs %d pairs", ra.Threshold, len(ra.Pairs), len(rb.Pairs))
+		}
+		for i := range ra.Pairs {
+			if ra.Pairs[i] != rb.Pairs[i] {
+				t.Fatalf("t=%v pair %d: %+v vs %+v", ra.Threshold, i, ra.Pairs[i], rb.Pairs[i])
+			}
+		}
+		if ra.Candidates != rb.Candidates || ra.Pruned != rb.Pruned ||
+			ra.CacheHits != rb.CacheHits || ra.HashesCompared != rb.HashesCompared {
+			t.Fatalf("t=%v counters differ: %+v vs %+v", ra.Threshold, ra, rb)
+		}
+	}
+}
+
+// TestSnapshotRoundTrip checks that a decoded cache is state-identical and
+// probes byte-identically, for both sketch families and several worker
+// counts — the restart-determinism property of the knowledge cache.
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ds   *vec.Dataset
+	}{
+		{"cosine", snapDataset(60)},
+		{"jaccard", snapJaccardDataset(60)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, workers := range []int{1, 4} {
+				p := DefaultParams()
+				p.Workers = workers
+				c := NewCache(tc.ds, p, 7)
+				probeAll(t, tc.ds, c, []float64{0.9, 0.7}, workers)
+
+				var buf bytes.Buffer
+				if err := c.EncodeSnapshot(&buf); err != nil {
+					t.Fatal(err)
+				}
+				restored, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if restored.N != c.N || restored.Seed != c.Seed ||
+					restored.Measure != c.Measure || restored.Params != c.Params {
+					t.Fatalf("header mismatch: %+v vs %+v", restored, c)
+				}
+				if restored.Pairs.Len() != c.Pairs.Len() {
+					t.Fatalf("pair count %d vs %d", restored.Pairs.Len(), c.Pairs.Len())
+				}
+				c.Pairs.Range(func(key uint64, ps PairState) bool {
+					got, ok := restored.Pairs.Get(key)
+					if !ok || got != ps {
+						t.Fatalf("pair %d: got %+v ok=%v want %+v", key, got, ok, ps)
+					}
+					return true
+				})
+				// Continued probes must match a never-interrupted cache.
+				next := []float64{0.8, 0.5, 0.7}
+				want := probeAll(t, tc.ds, c, next, workers)
+				got := probeAll(t, tc.ds, restored, next, workers)
+				sameResults(t, want, got)
+			}
+		})
+	}
+}
+
+// TestSnapshotDeterministicBytes pins that encoding a quiescent cache twice
+// yields identical bytes (pair entries are sorted, not map-ordered).
+func TestSnapshotDeterministicBytes(t *testing.T) {
+	ds := snapDataset(50)
+	c := NewCache(ds, DefaultParams(), 3)
+	probeAll(t, ds, c, []float64{0.8}, 2)
+	var a, b bytes.Buffer
+	if err := c.EncodeSnapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EncodeSnapshot(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshot encoding is not deterministic")
+	}
+}
+
+// TestSnapshotRejectsDamage feeds the decoder corrupted, truncated, and
+// mislabeled streams; every one must fail with a typed error, never return
+// a cache.
+func TestSnapshotRejectsDamage(t *testing.T) {
+	ds := snapDataset(40)
+	c := NewCache(ds, DefaultParams(), 5)
+	probeAll(t, ds, c, []float64{0.8}, 1)
+	var buf bytes.Buffer
+	if err := c.EncodeSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[0] = 'X'
+		if _, err := DecodeSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrSnapshotMagic) {
+			t.Fatalf("err = %v, want ErrSnapshotMagic", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[8] = 0xff
+		bad[9] = 0xff
+		if _, err := DecodeSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrSnapshotVersion) {
+			t.Fatalf("err = %v, want ErrSnapshotVersion", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, cut := range []int{5, 12, len(good) / 2, len(good) - 2} {
+			_, err := DecodeSnapshot(bytes.NewReader(good[:cut]))
+			if err == nil {
+				t.Fatalf("truncation at %d decoded successfully", cut)
+			}
+			if !errors.Is(err, ErrSnapshotCorrupt) && !errors.Is(err, ErrSnapshotChecksum) {
+				t.Fatalf("truncation at %d: err = %v, want corrupt or checksum", cut, err)
+			}
+		}
+	})
+	t.Run("flipped payload byte", func(t *testing.T) {
+		// Flip one byte somewhere in the middle; either a structural check
+		// or the CRC must catch it.
+		for _, pos := range []int{40, len(good) / 2, len(good) - 6} {
+			bad := append([]byte{}, good...)
+			bad[pos] ^= 0x41
+			if _, err := DecodeSnapshot(bytes.NewReader(bad)); err == nil {
+				t.Fatalf("flip at %d decoded successfully", pos)
+			}
+		}
+	})
+	t.Run("flipped crc", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[len(bad)-1] ^= 0x01
+		if _, err := DecodeSnapshot(bytes.NewReader(bad)); !errors.Is(err, ErrSnapshotChecksum) {
+			t.Fatalf("err = %v, want ErrSnapshotChecksum", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := DecodeSnapshot(bytes.NewReader(nil)); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("err = %v, want ErrSnapshotCorrupt", err)
+		}
+	})
+}

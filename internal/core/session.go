@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"plasmahd/internal/bayeslsh"
+	"plasmahd/internal/dataset"
 	"plasmahd/internal/graph"
 	"plasmahd/internal/stats"
 	"plasmahd/internal/vec"
@@ -32,6 +33,12 @@ import (
 type Session struct {
 	DS    *vec.Dataset
 	Cache *bayeslsh.Cache
+
+	// Spec, when non-zero, is the registry recipe the dataset was loaded
+	// from. Snapshot embeds it so RestoreSession can rehydrate the session
+	// from the spec alone; sessions over ad-hoc data leave it zero (the
+	// snapshot then embeds the data itself).
+	Spec dataset.Spec
 
 	mu     sync.Mutex // guards probes
 	probes []ProbeRecord
@@ -197,10 +204,16 @@ func (s *Session) Thresholds() []float64 {
 	return ts
 }
 
-// ThresholdGrid returns an inclusive uniform grid over [lo, hi].
+// ThresholdGrid returns an inclusive uniform grid over [lo, hi]. Both
+// endpoints always appear: steps below 2 are clamped to 2, so a degenerate
+// request still covers the whole interval instead of silently dropping hi.
+// A single-point grid is returned only when lo == hi.
 func ThresholdGrid(lo, hi float64, steps int) []float64 {
-	if steps < 2 {
+	if lo == hi {
 		return []float64{lo}
+	}
+	if steps < 2 {
+		steps = 2
 	}
 	g := make([]float64, steps)
 	for i := range g {
@@ -211,22 +224,29 @@ func ThresholdGrid(lo, hi float64, steps int) []float64 {
 
 // FindKnee returns the grid threshold with the sharpest bend in the
 // log-scale cumulative curve — the "knee in steepness" the §2.2.2 user
-// investigates next. The curve must be on an ascending uniform grid.
+// investigates next. The curve must be on an ascending grid; spacing may be
+// non-uniform (each point's curvature is the second difference normalized
+// by its local step sizes, so coarse regions are not inflated). Ties break
+// explicitly toward the lowest threshold, and a curve with no bend at all
+// (flat or straight in log space) returns the lowest grid threshold rather
+// than an arbitrary interior point.
 func FindKnee(curve []CurvePoint) float64 {
-	if len(curve) < 3 {
-		if len(curve) == 0 {
-			return 0
-		}
-		return curve[0].Threshold
+	if len(curve) == 0 {
+		return 0
 	}
 	logv := make([]float64, len(curve))
 	for i, p := range curve {
 		logv[i] = math.Log1p(p.Estimate)
 	}
-	best, bestAt := -1.0, curve[1].Threshold
+	best, bestAt := 0.0, curve[0].Threshold
 	for i := 1; i < len(curve)-1; i++ {
-		curvature := math.Abs(logv[i+1] - 2*logv[i] + logv[i-1])
-		if curvature > best {
+		hl := curve[i].Threshold - curve[i-1].Threshold
+		hr := curve[i+1].Threshold - curve[i].Threshold
+		if hl <= 0 || hr <= 0 {
+			continue // malformed (non-ascending) grid segment
+		}
+		curvature := math.Abs((logv[i+1]-logv[i])/hr-(logv[i]-logv[i-1])/hl) / ((hl + hr) / 2)
+		if curvature > best || (curvature == best && curve[i].Threshold < bestAt) {
 			best = curvature
 			bestAt = curve[i].Threshold
 		}

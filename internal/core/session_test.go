@@ -147,6 +147,53 @@ func TestFindKnee(t *testing.T) {
 	}
 }
 
+// TestFindKneeRegression pins the knee on known curves: an exact-tie curve
+// must break toward the lowest threshold, a flat curve must return the first
+// grid point (the old implementation could never pick an endpoint), and a
+// non-uniform grid must not let wide spacing masquerade as curvature.
+func TestFindKneeRegression(t *testing.T) {
+	pts := func(ts []float64, es []float64) []CurvePoint {
+		out := make([]CurvePoint, len(ts))
+		for i := range ts {
+			out[i] = CurvePoint{Threshold: ts[i], Estimate: es[i]}
+		}
+		return out
+	}
+
+	// Symmetric plateau: the rise onto it and the fall off it are mirrored
+	// float-for-float, so the two interior bends have bit-identical
+	// curvature. The tie must break toward the lower threshold (0.5), not
+	// iteration accident.
+	// (Power-of-two thresholds so the step subtractions are exact and the
+	// two curvatures come out bit-identical.)
+	tie := pts([]float64{0.25, 0.5, 0.75, 1.0}, []float64{0, 100, 100, 0})
+	if knee := FindKnee(tie); knee != 0.5 {
+		t.Errorf("tie knee = %v, want 0.5 (lowest threshold wins)", knee)
+	}
+
+	// Flat curve: no bend anywhere; the lowest grid threshold must win —
+	// endpoints are representable answers now.
+	flat := pts([]float64{0.2, 0.4, 0.6, 0.8}, []float64{50, 50, 50, 50})
+	if knee := FindKnee(flat); knee != 0.2 {
+		t.Errorf("flat knee = %v, want 0.2", knee)
+	}
+
+	// Non-uniform grid: a mild slope change (1 -> 3 per unit t) sampled on
+	// wide 0.3 steps against a sharp one (3 -> 7) sampled on fine 0.05
+	// steps. The raw second difference is larger in the coarse region
+	// (0.6 vs 0.2) purely because of spacing, so the old formula picked
+	// 0.4; per-step normalization must pick the genuinely sharper bend.
+	logv := []float64{6, 5.7, 4.8, 4.5, 4.35, 4.0}
+	est := make([]float64, len(logv))
+	for i, lv := range logv {
+		est[i] = math.Expm1(lv)
+	}
+	nonuni := pts([]float64{0.1, 0.4, 0.7, 0.8, 0.85, 0.9}, est)
+	if knee := FindKnee(nonuni); knee != 0.85 {
+		t.Errorf("non-uniform knee = %v, want 0.85", knee)
+	}
+}
+
 func TestThresholdGrid(t *testing.T) {
 	g := ThresholdGrid(0, 1, 11)
 	if len(g) != 11 || g[0] != 0 || g[10] != 1 {
@@ -155,8 +202,16 @@ func TestThresholdGrid(t *testing.T) {
 	if math.Abs(g[5]-0.5) > 1e-12 {
 		t.Errorf("midpoint %v", g[5])
 	}
-	if len(ThresholdGrid(0, 1, 1)) != 1 {
-		t.Error("degenerate grid")
+	// Degenerate step counts clamp to 2 so hi is never silently dropped.
+	for _, steps := range []int{-3, 0, 1} {
+		g := ThresholdGrid(0.25, 0.75, steps)
+		if len(g) != 2 || g[0] != 0.25 || g[1] != 0.75 {
+			t.Errorf("ThresholdGrid(0.25, 0.75, %d) = %v, want both endpoints", steps, g)
+		}
+	}
+	// A zero-width interval is the only single-point grid.
+	if g := ThresholdGrid(0.5, 0.5, 7); len(g) != 1 || g[0] != 0.5 {
+		t.Errorf("zero-width grid %v", g)
 	}
 }
 

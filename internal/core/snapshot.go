@@ -1,0 +1,521 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"math"
+	"time"
+
+	"plasmahd/internal/bayeslsh"
+	"plasmahd/internal/dataset"
+	"plasmahd/internal/vec"
+)
+
+// Session snapshots make the knowledge cache durable: everything a probe
+// session has learned — the sketches, the memoized pair evidence, and the
+// probe history — serialized so a restart (or an eviction spill) costs
+// nothing but the decode. The stream is versioned and checksummed:
+//
+//	magic   "PLHDSESS"                      (8 bytes)
+//	version uint16                          (currently 1)
+//	payload dataset.Spec (binary codec), optionally the dataset itself
+//	        (for sessions over uploaded data that no spec can rebuild),
+//	        the probe records, and the bayeslsh cache snapshot
+//	crc     uint32 (Castagnoli) over magic+version+payload
+//
+// RestoreSession validates the decoded cache against the dataset it will
+// probe (row count and measure); a mismatch is a typed error, never a
+// silently-wrong cache.
+
+// sessSnapMagic identifies a session snapshot stream.
+var sessSnapMagic = [8]byte{'P', 'L', 'H', 'D', 'S', 'E', 'S', 'S'}
+
+// SessionSnapshotVersion is the current session snapshot format version.
+const SessionSnapshotVersion uint16 = 1
+
+// Typed session-snapshot failures.
+var (
+	// ErrSessionSnapshotMagic means the stream is not a session snapshot.
+	ErrSessionSnapshotMagic = errors.New("core: not a session snapshot (bad magic)")
+	// ErrSessionSnapshotVersion means an incompatible format version.
+	ErrSessionSnapshotVersion = errors.New("core: unsupported session snapshot version")
+	// ErrSessionSnapshotChecksum means the payload fails its CRC.
+	ErrSessionSnapshotChecksum = errors.New("core: session snapshot checksum mismatch")
+	// ErrSessionSnapshotCorrupt means a structural invariant failed.
+	ErrSessionSnapshotCorrupt = errors.New("core: corrupt session snapshot")
+	// ErrSnapshotNoDataset means the snapshot carries neither a spec nor an
+	// embedded dataset, so RestoreSession needs the caller to supply one.
+	ErrSnapshotNoDataset = errors.New("core: snapshot has no dataset spec or embedded data; pass the dataset explicitly")
+)
+
+// SnapshotMismatchError reports a snapshot that cannot serve the dataset it
+// was asked to restore against — restoring it would mean probing with wrong
+// evidence, so the restore is refused.
+type SnapshotMismatchError struct {
+	Field    string // which property disagrees: "rows", "measure", "dim"
+	Snapshot any    // the snapshot's value
+	Dataset  any    // the dataset's value
+}
+
+func (e *SnapshotMismatchError) Error() string {
+	return fmt.Sprintf("core: snapshot/dataset mismatch on %s: snapshot has %v, dataset has %v",
+		e.Field, e.Snapshot, e.Dataset)
+}
+
+const (
+	snapMaxStringLen = 1 << 16
+	snapMaxRows      = 1 << 28
+)
+
+// sessWriter / sessReader mirror the bayeslsh codec helpers: CRC over every
+// byte, first error latches.
+type sessWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+	err error
+}
+
+func newSessWriter(w io.Writer) *sessWriter {
+	return &sessWriter{w: w, crc: crc32.New(crc32.MakeTable(crc32.Castagnoli))}
+}
+
+func (sw *sessWriter) Write(b []byte) (int, error) { // io.Writer for nested codecs
+	if sw.err != nil {
+		return 0, sw.err
+	}
+	n, err := sw.w.Write(b)
+	sw.crc.Write(b[:n])
+	if err != nil {
+		sw.err = err
+	}
+	return n, err
+}
+
+func (sw *sessWriter) bytes(b []byte) { _, _ = sw.Write(b) }
+func (sw *sessWriter) u8(v uint8)     { sw.bytes([]byte{v}) }
+func (sw *sessWriter) u32(v uint32)   { sw.bytes(binary.LittleEndian.AppendUint32(nil, v)) }
+func (sw *sessWriter) u64(v uint64)   { sw.bytes(binary.LittleEndian.AppendUint64(nil, v)) }
+func (sw *sessWriter) i64(v int64)    { sw.u64(uint64(v)) }
+func (sw *sessWriter) f64(v float64)  { sw.u64(math.Float64bits(v)) }
+
+// str/blob enforce the same length cap the reader does, so an encode can
+// never succeed at producing a snapshot the decoder is guaranteed to
+// refuse — an over-long field fails the save loudly instead.
+func (sw *sessWriter) str(s string) {
+	if len(s) > snapMaxStringLen {
+		if sw.err == nil {
+			sw.err = fmt.Errorf("core: snapshot string field is %d bytes, max %d", len(s), snapMaxStringLen)
+		}
+		return
+	}
+	sw.u32(uint32(len(s)))
+	sw.bytes([]byte(s))
+}
+
+func (sw *sessWriter) blob(b []byte) {
+	if len(b) > snapMaxStringLen {
+		if sw.err == nil {
+			sw.err = fmt.Errorf("core: snapshot blob field is %d bytes, max %d", len(b), snapMaxStringLen)
+		}
+		return
+	}
+	sw.u32(uint32(len(b)))
+	sw.bytes(b)
+}
+func (sw *sessWriter) finish() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	_, err := sw.w.Write(binary.LittleEndian.AppendUint32(nil, sw.crc.Sum32()))
+	return err
+}
+
+type sessReader struct {
+	r   io.Reader
+	crc hash.Hash32
+	err error
+}
+
+func newSessReader(r io.Reader) *sessReader {
+	return &sessReader{r: r, crc: crc32.New(crc32.MakeTable(crc32.Castagnoli))}
+}
+
+func (sr *sessReader) Read(b []byte) (int, error) { // io.Reader for nested codecs
+	if sr.err != nil {
+		return 0, sr.err
+	}
+	n, err := sr.r.Read(b)
+	sr.crc.Write(b[:n])
+	return n, err
+}
+
+func (sr *sessReader) bytesN(n int) []byte {
+	if sr.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(sr.r, b); err != nil {
+		sr.err = fmt.Errorf("%w: truncated stream: %v", ErrSessionSnapshotCorrupt, err)
+		return nil
+	}
+	sr.crc.Write(b)
+	return b
+}
+
+func (sr *sessReader) u8() uint8 {
+	b := sr.bytesN(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (sr *sessReader) u16() uint16 {
+	b := sr.bytesN(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (sr *sessReader) u32() uint32 {
+	b := sr.bytesN(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (sr *sessReader) u64() uint64 {
+	b := sr.bytesN(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (sr *sessReader) i64() int64   { return int64(sr.u64()) }
+func (sr *sessReader) f64() float64 { return math.Float64frombits(sr.u64()) }
+
+func (sr *sessReader) corrupt(format string, args ...any) {
+	if sr.err == nil {
+		sr.err = fmt.Errorf("%w: %s", ErrSessionSnapshotCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (sr *sessReader) str() string {
+	n := int(sr.u32())
+	if sr.err != nil {
+		return ""
+	}
+	if n > snapMaxStringLen {
+		sr.corrupt("string length %d out of range", n)
+		return ""
+	}
+	return string(sr.bytesN(n))
+}
+
+func (sr *sessReader) blob() []byte {
+	n := int(sr.u32())
+	if sr.err != nil {
+		return nil
+	}
+	if n > snapMaxStringLen {
+		sr.corrupt("blob length %d out of range", n)
+		return nil
+	}
+	return sr.bytesN(n)
+}
+
+func (sr *sessReader) verifyCRC() error {
+	if sr.err != nil {
+		return sr.err
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(sr.r, b[:]); err != nil {
+		return fmt.Errorf("%w: missing checksum: %v", ErrSessionSnapshotCorrupt, err)
+	}
+	if got, want := binary.LittleEndian.Uint32(b[:]), sr.crc.Sum32(); got != want {
+		return fmt.Errorf("%w: stored %08x computed %08x", ErrSessionSnapshotChecksum, got, want)
+	}
+	return nil
+}
+
+// datasetHash fingerprints the dataset content a cache was built from:
+// dim, measure, and every row verbatim (FNV-64a over their little-endian
+// encodings). It is stored in the snapshot and re-checked on restore, so a
+// snapshot rehydrated from a spec whose generator output has changed across
+// versions — or restored against the wrong upload of the right shape — is
+// refused instead of probing sketches that describe different vectors.
+func datasetHash(ds *vec.Dataset) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(uint64(ds.Dim))
+	put(uint64(ds.Measure))
+	put(uint64(len(ds.Rows)))
+	for _, row := range ds.Rows {
+		put(uint64(len(row.Indices)))
+		for _, ix := range row.Indices {
+			put(uint64(uint32(ix)))
+		}
+		for _, v := range row.Values {
+			put(math.Float64bits(v))
+		}
+	}
+	return h.Sum64()
+}
+
+// encodeDataset writes the session's dataset verbatim (post-normalization),
+// for sessions over uploaded data that no registry spec can rebuild.
+// Restored rows are used exactly as stored — they are NOT re-normalized,
+// which would perturb the float values and break restart determinism.
+func encodeDataset(sw *sessWriter, ds *vec.Dataset) {
+	sw.str(ds.Name)
+	sw.u32(uint32(ds.Dim))
+	sw.u8(uint8(ds.Measure))
+	sw.u32(uint32(len(ds.Rows)))
+	for _, row := range ds.Rows {
+		sw.u32(uint32(len(row.Indices)))
+		for _, ix := range row.Indices {
+			sw.u32(uint32(ix))
+		}
+		for _, v := range row.Values {
+			sw.f64(v)
+		}
+	}
+}
+
+func decodeDataset(sr *sessReader) *vec.Dataset {
+	ds := &vec.Dataset{Name: sr.str()}
+	ds.Dim = int(sr.u32())
+	ds.Measure = vec.Measure(sr.u8())
+	n := int(sr.u32())
+	if sr.err != nil {
+		return nil
+	}
+	if ds.Dim < 0 || ds.Dim > snapMaxRows || n < 0 || n > snapMaxRows {
+		sr.corrupt("dataset dims %dx%d out of range", n, ds.Dim)
+		return nil
+	}
+	if ds.Measure != vec.CosineSim && ds.Measure != vec.JaccardSim {
+		sr.corrupt("unknown dataset measure %d", int(ds.Measure))
+		return nil
+	}
+	ds.Rows = make([]vec.Sparse, 0, n)
+	for i := 0; i < n && sr.err == nil; i++ {
+		nnz := int(sr.u32())
+		if nnz < 0 || nnz > ds.Dim {
+			sr.corrupt("row %d: %d non-zeros over dimension %d", i, nnz, ds.Dim)
+			return nil
+		}
+		row := vec.Sparse{Indices: make([]int32, nnz), Values: make([]float64, nnz)}
+		for k := range row.Indices {
+			row.Indices[k] = int32(sr.u32())
+		}
+		for k := range row.Values {
+			row.Values[k] = sr.f64()
+		}
+		for k, ix := range row.Indices {
+			if ix < 0 || int(ix) >= ds.Dim || (k > 0 && row.Indices[k-1] >= ix) {
+				sr.corrupt("row %d: indices not strictly increasing in [0,%d)", i, ds.Dim)
+				return nil
+			}
+		}
+		ds.Rows = append(ds.Rows, row)
+	}
+	return ds
+}
+
+// Snapshot serializes the session — dataset spec (or the data itself when
+// no spec exists), probe records, and the full knowledge cache — to w.
+// It is safe to call while probes are in flight; the snapshot captures a
+// consistent monotone prefix of the cache's evidence and whatever probes
+// had completed when it started.
+func (s *Session) Snapshot(w io.Writer) error {
+	probes := s.ProbeRecords()
+
+	sw := newSessWriter(w)
+	sw.bytes(sessSnapMagic[:])
+	b := binary.LittleEndian.AppendUint16(nil, SessionSnapshotVersion)
+	sw.bytes(b)
+
+	specBlob, err := s.Spec.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if s.Spec.IsZero() {
+		specBlob = nil
+	}
+	sw.blob(specBlob)
+
+	// Sessions without a spec embed the dataset so they can be rehydrated
+	// from the snapshot alone (uploaded data has no recipe to replay).
+	if s.Spec.IsZero() {
+		sw.u8(1)
+		encodeDataset(sw, s.DS)
+	} else {
+		sw.u8(0)
+	}
+	sw.u64(datasetHash(s.DS))
+
+	sw.u32(uint32(len(probes)))
+	for _, pr := range probes {
+		sw.f64(pr.Threshold)
+		res := pr.Result
+		sw.f64(res.Threshold)
+		sw.u32(uint32(len(res.Pairs)))
+		for _, p := range res.Pairs {
+			sw.u32(uint32(p.I))
+			sw.u32(uint32(p.J))
+			sw.f64(p.Est)
+		}
+		sw.i64(int64(res.Candidates))
+		sw.i64(int64(res.Pruned))
+		sw.i64(int64(res.CacheHits))
+		sw.i64(res.HashesCompared)
+		sw.i64(int64(res.ProcessTime))
+	}
+
+	if sw.err == nil {
+		if err := s.Cache.EncodeSnapshot(sw); err != nil {
+			return err
+		}
+	}
+	return sw.finish()
+}
+
+// RestoreSession decodes a session snapshot and validates it against the
+// dataset it will probe. ds may be nil, in which case the dataset is
+// rehydrated from the snapshot itself — loaded from the embedded spec, or
+// taken verbatim from the embedded data; ErrSnapshotNoDataset is returned
+// when the snapshot carries neither. Any disagreement between the snapshot
+// and the dataset (row count, similarity measure, dimension) is a
+// *SnapshotMismatchError: a wrong cache is refused, never silently probed.
+//
+// A restored session is byte-identical to the one that was snapshotted:
+// subsequent probes return exactly the results an uninterrupted session
+// would have produced, for any worker count.
+func RestoreSession(r io.Reader, ds *vec.Dataset) (*Session, error) {
+	sr := newSessReader(r)
+	magic := sr.bytesN(8)
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if [8]byte(magic) != sessSnapMagic {
+		return nil, fmt.Errorf("%w: got %q", ErrSessionSnapshotMagic, magic)
+	}
+	if v := sr.u16(); sr.err == nil && v != SessionSnapshotVersion {
+		return nil, fmt.Errorf("%w: got %d, support %d", ErrSessionSnapshotVersion, v, SessionSnapshotVersion)
+	}
+
+	var spec dataset.Spec
+	specBlob := sr.blob()
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if len(specBlob) > 0 {
+		if err := spec.UnmarshalBinary(specBlob); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrSessionSnapshotCorrupt, err)
+		}
+	}
+
+	var embedded *vec.Dataset
+	if sr.u8() == 1 {
+		embedded = decodeDataset(sr)
+	}
+	wantHash := sr.u64()
+	if sr.err != nil {
+		return nil, sr.err
+	}
+
+	nProbes := int(sr.u32())
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if nProbes < 0 || nProbes > snapMaxRows {
+		return nil, fmt.Errorf("%w: probe count %d out of range", ErrSessionSnapshotCorrupt, nProbes)
+	}
+	probes := make([]ProbeRecord, 0, nProbes)
+	for i := 0; i < nProbes && sr.err == nil; i++ {
+		var pr ProbeRecord
+		pr.Threshold = sr.f64()
+		res := &bayeslsh.Result{Threshold: sr.f64()}
+		nPairs := int(sr.u32())
+		if sr.err != nil {
+			break
+		}
+		if nPairs < 0 || nPairs > snapMaxRows {
+			sr.corrupt("probe %d: pair count %d out of range", i, nPairs)
+			break
+		}
+		res.Pairs = make([]bayeslsh.Pair, nPairs)
+		for k := range res.Pairs {
+			res.Pairs[k].I = int32(sr.u32())
+			res.Pairs[k].J = int32(sr.u32())
+			res.Pairs[k].Est = sr.f64()
+		}
+		res.Candidates = int(sr.i64())
+		res.Pruned = int(sr.i64())
+		res.CacheHits = int(sr.i64())
+		res.HashesCompared = sr.i64()
+		res.ProcessTime = time.Duration(sr.i64())
+		pr.Result = res
+		probes = append(probes, pr)
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+
+	cache, err := bayeslsh.DecodeSnapshot(sr)
+	if err != nil {
+		return nil, err
+	}
+	if err := sr.verifyCRC(); err != nil {
+		return nil, err
+	}
+
+	if ds == nil {
+		switch {
+		case embedded != nil:
+			ds = embedded
+		case !spec.IsZero():
+			ds, err = dataset.Load(spec)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, ErrSnapshotNoDataset
+		}
+	}
+
+	if ds.N() != cache.N {
+		return nil, &SnapshotMismatchError{Field: "rows", Snapshot: cache.N, Dataset: ds.N()}
+	}
+	if ds.Measure != cache.Measure {
+		return nil, &SnapshotMismatchError{Field: "measure", Snapshot: cache.Measure.String(), Dataset: ds.Measure.String()}
+	}
+	if embedded != nil && ds != embedded && ds.Dim != embedded.Dim {
+		return nil, &SnapshotMismatchError{Field: "dim", Snapshot: embedded.Dim, Dataset: ds.Dim}
+	}
+	// Content check: a dataset of the right shape but different vectors
+	// (a registry generator that changed across versions, a different
+	// upload) would make every cached sketch and pair state wrong.
+	if got := datasetHash(ds); got != wantHash {
+		return nil, &SnapshotMismatchError{
+			Field:    "content",
+			Snapshot: fmt.Sprintf("%016x", wantHash),
+			Dataset:  fmt.Sprintf("%016x", got),
+		}
+	}
+
+	return &Session{DS: ds, Cache: cache, Spec: spec, probes: probes}, nil
+}

@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary codec for Spec, so a session snapshot can carry the recipe for its
+// dataset and be rehydrated from the spec alone (no data shipped). The
+// encoding is a small versioned record:
+//
+//	version uint8 (currently 1)
+//	kind    uint16 length + bytes
+//	name    uint16 length + bytes
+//	rows    int64
+//	edges   int64
+//	seed    int64
+//
+// Integrity (checksums, truncation) is the containing snapshot's job; this
+// codec only validates its own structure.
+
+// specCodecVersion is the current Spec wire version.
+const specCodecVersion = 1
+
+// ErrSpecCodec is wrapped by every Spec decode failure.
+var ErrSpecCodec = errors.New("dataset: corrupt spec encoding")
+
+// IsZero reports whether the spec names no source — the state of sessions
+// created from uploaded data rather than a registry recipe.
+func (s Spec) IsZero() bool {
+	return s.Kind == "" && s.Name == "" && s.Rows == 0 && s.Edges == 0 && s.Seed == 0
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s Spec) MarshalBinary() ([]byte, error) {
+	if len(s.Kind) > 0xffff || len(s.Name) > 0xffff {
+		return nil, fmt.Errorf("dataset: spec kind/name too long to encode")
+	}
+	out := []byte{specCodecVersion}
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(s.Kind)))
+	out = append(out, s.Kind...)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(s.Name)))
+	out = append(out, s.Name...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(s.Rows))
+	out = binary.LittleEndian.AppendUint64(out, uint64(s.Edges))
+	out = binary.LittleEndian.AppendUint64(out, uint64(s.Seed))
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Spec) UnmarshalBinary(data []byte) error {
+	if len(data) < 1 {
+		return fmt.Errorf("%w: empty", ErrSpecCodec)
+	}
+	if data[0] != specCodecVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrSpecCodec, data[0])
+	}
+	data = data[1:]
+	str := func() (string, error) {
+		if len(data) < 2 {
+			return "", fmt.Errorf("%w: truncated length", ErrSpecCodec)
+		}
+		n := int(binary.LittleEndian.Uint16(data))
+		data = data[2:]
+		if len(data) < n {
+			return "", fmt.Errorf("%w: truncated string", ErrSpecCodec)
+		}
+		v := string(data[:n])
+		data = data[n:]
+		return v, nil
+	}
+	var out Spec
+	var err error
+	if out.Kind, err = str(); err != nil {
+		return err
+	}
+	if out.Name, err = str(); err != nil {
+		return err
+	}
+	if len(data) != 24 {
+		return fmt.Errorf("%w: %d trailing bytes, want 24", ErrSpecCodec, len(data))
+	}
+	out.Rows = int(int64(binary.LittleEndian.Uint64(data)))
+	out.Edges = int(int64(binary.LittleEndian.Uint64(data[8:])))
+	out.Seed = int64(binary.LittleEndian.Uint64(data[16:]))
+	*s = out
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"runtime"
@@ -41,6 +42,8 @@ func (s *Server) Routes() []Route {
 		{"GET", "/v1/sessions/{id}", "one session's summary", s.handleGetSession},
 		{"DELETE", "/v1/sessions/{id}", "delete a session", s.handleDeleteSession},
 		{"POST", "/v1/sessions/{id}/probe", "run (or join) a probe at a threshold", s.handleProbe},
+		{"POST", "/v1/sessions/{id}/snapshot", "serialize the session's knowledge cache to a binary snapshot", s.handleSnapshot},
+		{"POST", "/v1/sessions/restore", "recreate a session from an uploaded binary snapshot", s.handleRestore},
 		{"GET", "/v1/sessions/{id}/curve", "cumulative APSS curve over a threshold grid, with knee", s.handleCurve},
 		{"GET", "/v1/sessions/{id}/graph", "threshold graph summary with degree/density profile", s.handleGraph},
 		{"GET", "/v1/sessions/{id}/cues", "visual cues: triangle histogram and density profile", s.handleCues},
@@ -83,20 +86,42 @@ func (s *Server) writeError(w http.ResponseWriter, status int, code, format stri
 	s.writeJSON(w, status, errorEnvelope{Error: errorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
 }
 
-// decodeJSON strictly decodes a request body into v.
-func decodeJSON(r *http.Request, v any) error {
+// decodeJSON strictly decodes a request body into v and writes the error
+// envelope itself on failure: 413 when the body blew past the configured
+// cap (the middleware's MaxBytesReader), 400 for malformed JSON, unknown
+// fields, or trailing garbage after the JSON value.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return err
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				"request body exceeds the %d-byte limit", tooBig.Limit)
+		} else {
+			s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
+		}
+		return false
 	}
-	return nil
+	// One JSON value is the whole body; trailing garbage is an error, not
+	// silently ignored input.
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "trailing data after JSON body")
+		return false
+	}
+	return true
 }
 
 // acquire resolves {id} to a busy-marked session or writes the 404 envelope.
+// With a state dir configured, a session that was spilled to disk by
+// eviction is transparently revived before the lookup fails.
 func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (*ManagedSession, func(), bool) {
 	id := r.PathValue("id")
 	ms, release, err := s.mgr.Acquire(id)
+	if errors.Is(err, ErrNotFound) && s.revive(id) {
+		ms, release, err = s.mgr.Acquire(id)
+	}
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, "not_found", "no session %q", id)
 		return nil, nil, false
@@ -350,8 +375,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	var req createSessionRequest
-	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	ds, spec, err := s.resolveDataset(&req)
@@ -408,6 +432,11 @@ func (s *Server) resolveDataset(req *createSessionRequest) (*vec.Dataset, datase
 	name := req.Name
 	if name == "" {
 		name = "uploaded"
+	}
+	// The name is stored verbatim in session snapshots (length-capped
+	// there); bound it here so every created session stays snapshottable.
+	if len(name) > 256 {
+		return nil, dataset.Spec{}, fmt.Errorf("name must be at most 256 bytes, got %d", len(name))
 	}
 	if req.Dense != nil {
 		if len(req.Dense) < 2 {
@@ -467,7 +496,12 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if err := s.mgr.Remove(id); err != nil {
+	err := s.mgr.Remove(id)
+	// Remove the on-disk snapshot either way: a session that was spilled to
+	// disk (so not resident) must still be deletable, not left to resurrect
+	// on the next boot.
+	removedFile := s.removeSessionState(id)
+	if err != nil && !removedFile {
 		s.writeError(w, http.StatusNotFound, "not_found", "no session %q", id)
 		return
 	}
@@ -476,8 +510,7 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 	var req probeRequest
-	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Threshold < -1 || req.Threshold > 1 {
@@ -557,6 +590,8 @@ func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "bad_request", "want lo <= hi and 1 <= steps <= 10000")
 		return
 	}
+	// ThresholdGrid clamps steps to 2 when lo < hi, so a degenerate steps=1
+	// sweep still evaluates both endpoints instead of silently dropping hi.
 	grid := core.ThresholdGrid(lo, hi, steps)
 	pts := ms.Session.CumulativeAPSS(grid)
 	resp := curveResponse{SessionID: ms.ID, Knee: core.FindKnee(pts)}
@@ -657,8 +692,7 @@ func (s *Server) handleCues(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad_request", "invalid JSON body: %v", err)
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Threshold < -1 || req.Threshold > 1 {
@@ -720,6 +754,81 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		s.writeJSON(w, http.StatusOK, resp)
 	}
+}
+
+// handleSnapshot serializes a session. By default the binary snapshot is
+// streamed back to the client (application/octet-stream), ready to be fed
+// to POST /v1/sessions/restore here or on another daemon. With ?persist=1
+// (requires a -state-dir) the snapshot is written to the server's state dir
+// instead and a JSON summary is returned.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	ms, release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if raw := r.URL.Query().Get("persist"); raw == "1" || raw == "true" {
+		if s.cfg.StateDir == "" {
+			s.writeError(w, http.StatusBadRequest, "bad_request",
+				"persist requires the daemon to run with -state-dir")
+			return
+		}
+		n, err := s.saveSession(ms)
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "internal", "snapshot failed: %v", err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"sessionId": ms.ID,
+			"path":      s.statePath(ms.ID),
+			"bytes":     n,
+		})
+		return
+	}
+	var buf bytes.Buffer
+	if err := ms.Session.Snapshot(&buf); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "internal", "snapshot failed: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// handleRestore recreates a session from an uploaded binary snapshot under
+// a fresh ID. The dataset is rehydrated from the snapshot itself (embedded
+// spec or embedded data); a snapshot that fails validation is refused with
+// the typed reason, never admitted as a silently-wrong cache.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	// Read the body first so an oversized upload surfaces as the typed
+	// MaxBytesError (413) instead of a generic decode failure.
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "too_large",
+				"snapshot exceeds the %d-byte limit", tooBig.Limit)
+		} else {
+			s.writeError(w, http.StatusBadRequest, "bad_request", "reading snapshot: %v", err)
+		}
+		return
+	}
+	sess, err := core.RestoreSession(bytes.NewReader(data), nil)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_snapshot", "%v", err)
+		return
+	}
+	ms := &ManagedSession{Spec: sess.Spec, Session: sess, Created: time.Now()}
+	if err := s.mgr.AdmitNew(ms); err != nil {
+		if errors.Is(err, ErrCapacity) {
+			s.writeError(w, http.StatusServiceUnavailable, "capacity", "%v", err)
+		} else {
+			s.writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, sessionInfoOf(ms))
 }
 
 // topK truncates a profile to its first k entries (it is already sorted

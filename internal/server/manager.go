@@ -21,6 +21,11 @@ var ErrCapacity = errors.New("server: session capacity reached and all sessions 
 // ErrNotFound is returned for unknown session IDs (including evicted ones).
 var ErrNotFound = errors.New("server: no such session")
 
+// ErrConflict is returned when a session is admitted under an ID that is
+// already resident (e.g. two requests racing to revive the same spilled
+// session).
+var ErrConflict = errors.New("server: session id already resident")
+
 // Manager owns the named probe sessions of a plasmad instance. Sessions are
 // keyed by ID; at capacity the least-recently-used *idle* session is evicted
 // to admit a new one (a session is idle when no request holds it). All
@@ -32,8 +37,22 @@ type Manager struct {
 	nextID   atomic.Int64
 	stats    Stats
 
+	// spill, when set, receives each session evicted for capacity before it
+	// is dropped, so its knowledge cache can be written to disk instead of
+	// discarded. It runs under mu (eviction is rare; correctness over
+	// concurrency), with an idle victim, and must not call back into the
+	// manager.
+	spill func(*ManagedSession) error
+
 	mu       sync.Mutex
 	sessions map[string]*ManagedSession
+}
+
+// SetSpill installs the eviction spill hook (nil disables spilling).
+func (m *Manager) SetSpill(f func(*ManagedSession) error) {
+	m.mu.Lock()
+	m.spill = f
+	m.mu.Unlock()
 }
 
 // NewManager returns an empty manager admitting up to capacity resident
@@ -48,26 +67,30 @@ func NewManager(capacity int) *Manager {
 // Stats is the manager's atomic counter block, read without locks by
 // GET /v1/stats while requests are in flight.
 type Stats struct {
-	SessionsCreated atomic.Int64
-	SessionsEvicted atomic.Int64
-	SessionsDeleted atomic.Int64
-	Probes          atomic.Int64
-	ProbesCoalesced atomic.Int64
-	Requests        atomic.Int64
-	Errors          atomic.Int64
+	SessionsCreated  atomic.Int64
+	SessionsEvicted  atomic.Int64
+	SessionsDeleted  atomic.Int64
+	SessionsSpilled  atomic.Int64 // evictions that went to disk, not oblivion
+	SessionsRestored atomic.Int64 // sessions rebuilt from snapshots (boot, revive, restore API)
+	Probes           atomic.Int64
+	ProbesCoalesced  atomic.Int64
+	Requests         atomic.Int64
+	Errors           atomic.Int64
 }
 
 // StatsSnapshot is the JSON form of the counter block.
 type StatsSnapshot struct {
-	Sessions        int   `json:"sessions"`
-	Capacity        int   `json:"capacity"`
-	SessionsCreated int64 `json:"sessionsCreated"`
-	SessionsEvicted int64 `json:"sessionsEvicted"`
-	SessionsDeleted int64 `json:"sessionsDeleted"`
-	Probes          int64 `json:"probes"`
-	ProbesCoalesced int64 `json:"probesCoalesced"`
-	Requests        int64 `json:"requests"`
-	Errors          int64 `json:"errors"`
+	Sessions         int   `json:"sessions"`
+	Capacity         int   `json:"capacity"`
+	SessionsCreated  int64 `json:"sessionsCreated"`
+	SessionsEvicted  int64 `json:"sessionsEvicted"`
+	SessionsDeleted  int64 `json:"sessionsDeleted"`
+	SessionsSpilled  int64 `json:"sessionsSpilled"`
+	SessionsRestored int64 `json:"sessionsRestored"`
+	Probes           int64 `json:"probes"`
+	ProbesCoalesced  int64 `json:"probesCoalesced"`
+	Requests         int64 `json:"requests"`
+	Errors           int64 `json:"errors"`
 }
 
 // Snapshot reads the counters.
@@ -76,15 +99,17 @@ func (m *Manager) Snapshot() StatsSnapshot {
 	n := len(m.sessions)
 	m.mu.Unlock()
 	return StatsSnapshot{
-		Sessions:        n,
-		Capacity:        m.capacity,
-		SessionsCreated: m.stats.SessionsCreated.Load(),
-		SessionsEvicted: m.stats.SessionsEvicted.Load(),
-		SessionsDeleted: m.stats.SessionsDeleted.Load(),
-		Probes:          m.stats.Probes.Load(),
-		ProbesCoalesced: m.stats.ProbesCoalesced.Load(),
-		Requests:        m.stats.Requests.Load(),
-		Errors:          m.stats.Errors.Load(),
+		Sessions:         n,
+		Capacity:         m.capacity,
+		SessionsCreated:  m.stats.SessionsCreated.Load(),
+		SessionsEvicted:  m.stats.SessionsEvicted.Load(),
+		SessionsDeleted:  m.stats.SessionsDeleted.Load(),
+		SessionsSpilled:  m.stats.SessionsSpilled.Load(),
+		SessionsRestored: m.stats.SessionsRestored.Load(),
+		Probes:           m.stats.Probes.Load(),
+		ProbesCoalesced:  m.stats.ProbesCoalesced.Load(),
+		Requests:         m.stats.Requests.Load(),
+		Errors:           m.stats.Errors.Load(),
 	}
 }
 
@@ -165,27 +190,101 @@ func (ms *ManagedSession) Probe(t float64, workers int, stats *Stats) (res *baye
 // Fig 2.9 — so concurrent creates do not serialize on it.
 func (m *Manager) Create(spec dataset.Spec, ds *vec.Dataset, p bayeslsh.Params, seed int64) (*ManagedSession, error) {
 	sess := core.NewSession(ds, p, seed)
+	sess.Spec = spec
 	ms := &ManagedSession{
 		ID:      fmt.Sprintf("s%d", m.nextID.Add(1)),
 		Spec:    spec,
 		Session: sess,
 		Created: time.Now(),
 	}
-	ms.touch()
+	if err := m.admit(ms); err != nil {
+		return nil, err
+	}
+	m.stats.SessionsCreated.Add(1)
+	return ms, nil
+}
 
+// AdmitNew registers a session restored from a snapshot under a fresh ID
+// (the POST /v1/sessions/restore path: the snapshot may come from another
+// daemon whose IDs collide with ours).
+func (m *Manager) AdmitNew(ms *ManagedSession) error {
+	ms.ID = fmt.Sprintf("s%d", m.nextID.Add(1))
+	if err := m.admit(ms); err != nil {
+		return err
+	}
+	m.stats.SessionsRestored.Add(1)
+	return nil
+}
+
+// AdmitAs registers a restored session under its original ID — the warm-boot
+// and spilled-session-revival paths, where the ID is the client's handle and
+// must survive the round trip through disk. Returns ErrConflict if the ID is
+// already resident.
+func (m *Manager) AdmitAs(ms *ManagedSession, id string) error {
+	ms.ID = id
+	m.bumpNextID(id)
+	if err := m.admit(ms); err != nil {
+		return err
+	}
+	m.stats.SessionsRestored.Add(1)
+	return nil
+}
+
+// bumpNextID advances the ID counter past a restored "s<n>" ID so freshly
+// created sessions never collide with warm-started ones.
+func (m *Manager) bumpNextID(id string) {
+	var n int64
+	if _, err := fmt.Sscanf(id, "s%d", &n); err != nil {
+		return
+	}
+	for {
+		cur := m.nextID.Load()
+		if cur >= n || m.nextID.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// admit registers ms, evicting (and spilling, when configured) idle LRU
+// sessions as needed to stay within capacity. Victims are chosen and
+// unlinked under the lock, but serialized to disk after it is released —
+// a spill is a full session encode plus a file write, far too slow to
+// stall every Acquire on the daemon for.
+//
+// The window between unlink and spill completion is benign: a request
+// naming a victim's ID during it either misses (404) or revives an older
+// snapshot of that session; both cost only recomputable cache evidence,
+// never wrong results.
+func (m *Manager) admit(ms *ManagedSession) error {
+	ms.touch()
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	if _, ok := m.sessions[ms.ID]; ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrConflict, ms.ID)
+	}
+	var victims []*ManagedSession
 	for len(m.sessions) >= m.capacity {
 		victim := m.lruIdleLocked()
 		if victim == nil {
-			return nil, ErrCapacity
+			m.mu.Unlock()
+			return ErrCapacity
 		}
 		delete(m.sessions, victim.ID)
 		m.stats.SessionsEvicted.Add(1)
+		victims = append(victims, victim)
 	}
 	m.sessions[ms.ID] = ms
-	m.stats.SessionsCreated.Add(1)
-	return ms, nil
+	spill := m.spill
+	m.mu.Unlock()
+
+	if spill != nil {
+		for _, victim := range victims {
+			if err := spill(victim); err == nil {
+				m.stats.SessionsSpilled.Add(1)
+			}
+		}
+	}
+	return nil
 }
 
 // lruIdleLocked returns the idle session with the oldest last use, or nil

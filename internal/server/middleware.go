@@ -50,7 +50,15 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 			r = r.WithContext(ctx)
 		}
 		if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
-			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+			limit := s.cfg.MaxBodyBytes
+			// Snapshot uploads get their own (larger) cap: the daemon's own
+			// snapshot endpoint routinely emits more than the JSON body cap,
+			// and restore must accept what snapshot produced.
+			if r.Method == http.MethodPost && r.URL.Path == "/v1/sessions/restore" &&
+				s.cfg.MaxSnapshotBytes > limit {
+				limit = s.cfg.MaxSnapshotBytes
+			}
+			r.Body = http.MaxBytesReader(sw, r.Body, limit)
 		}
 		next.ServeHTTP(sw, r)
 	})

@@ -18,6 +18,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"time"
 )
 
@@ -29,7 +30,16 @@ type Config struct {
 	Workers        int           // default engine workers per session (0 = all cores)
 	RequestTimeout time.Duration // per-request deadline (default 60s; <0 disables)
 	MaxBodyBytes   int64         // request-body cap (default 32 MiB; <0 disables)
-	Logger         *log.Logger   // request log (nil = silent)
+	// MaxSnapshotBytes caps POST /v1/sessions/restore bodies separately
+	// (default 1 GiB): snapshots the daemon itself emits routinely exceed
+	// MaxBodyBytes, and a migration round trip must accept what the
+	// snapshot endpoint produced.
+	MaxSnapshotBytes int64
+	// StateDir, when non-empty, makes knowledge caches durable: sessions are
+	// saved there on graceful shutdown, loaded on boot (warm start), spilled
+	// there on capacity eviction, and revived from there on demand.
+	StateDir string
+	Logger   *log.Logger // request log (nil = silent)
 }
 
 // Server is the assembled daemon: a Manager plus the HTTP surface.
@@ -55,9 +65,25 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = 32 << 20
 	}
+	if cfg.MaxSnapshotBytes == 0 {
+		cfg.MaxSnapshotBytes = 1 << 30
+	}
 	s := &Server{cfg: cfg, mgr: NewManager(cfg.Capacity), mux: http.NewServeMux(), start: time.Now()}
 	for _, rt := range s.Routes() {
 		s.mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
+	}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			s.logf("state dir %s unavailable, persistence disabled: %v", cfg.StateDir, err)
+			s.cfg.StateDir = ""
+		} else {
+			s.mgr.SetSpill(s.spillSession)
+			if n, err := s.LoadState(); err != nil {
+				s.logf("warm start failed: %v", err)
+			} else if n > 0 {
+				s.logf("warm start: %d session(s) restored from %s", n, cfg.StateDir)
+			}
+		}
 	}
 	s.hsrv = &http.Server{
 		Handler:           s.Handler(),
@@ -100,6 +126,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		err := s.hsrv.Shutdown(sctx)
+		if s.cfg.StateDir != "" {
+			if n, serr := s.SaveState(); serr != nil {
+				s.logf("state save incomplete (%d saved): %v", n, serr)
+			} else {
+				s.logf("state saved: %d session(s) -> %s", n, s.cfg.StateDir)
+			}
+		}
 		s.logf("plasmad shut down")
 		return err
 	case err := <-errc:

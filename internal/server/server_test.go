@@ -320,10 +320,10 @@ func TestErrorPaths(t *testing.T) {
 	}
 
 	cases := []struct {
-		name     string
-		status   int
-		code     string
-		run      func() (int, errorEnvelope)
+		name   string
+		status int
+		code   string
+		run    func() (int, errorEnvelope)
 	}{
 		{"malformed JSON on create", 400, "bad_request", func() (int, errorEnvelope) {
 			return post(ts.URL+"/v1/sessions", "{not json")

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"plasmahd/internal/core"
+)
+
+// State persistence: when Config.StateDir is set, plasmad's knowledge caches
+// survive the process. One file per session, "<id>.snap", in the session
+// snapshot format (see core.Session.Snapshot):
+//
+//   - graceful shutdown saves every resident session (SaveState);
+//   - boot loads saved sessions back up to capacity (LoadState);
+//   - capacity eviction spills the victim to disk instead of discarding it;
+//   - a request for a spilled session revives it from disk transparently;
+//   - DELETE removes the session's file along with the session.
+//
+// Files are written atomically (temp file + rename), so a crash mid-save
+// leaves the previous snapshot intact rather than a truncated one — and the
+// codec's CRC catches anything else.
+
+// snapExt is the session snapshot file suffix.
+const snapExt = ".snap"
+
+// validStateID reports whether id is one the server itself could have
+// minted ("s<n>"), the only IDs allowed to name state files — nothing
+// path-like from a URL ever touches the filesystem.
+func validStateID(id string) bool {
+	if len(id) < 2 || id[0] != 's' {
+		return false
+	}
+	_, err := strconv.ParseUint(id[1:], 10, 63)
+	return err == nil
+}
+
+func (s *Server) statePath(id string) string {
+	return filepath.Join(s.cfg.StateDir, id+snapExt)
+}
+
+// saveSession writes one session's snapshot atomically to the state dir and
+// returns the snapshot size.
+func (s *Server) saveSession(ms *ManagedSession) (int, error) {
+	var buf bytes.Buffer
+	if err := ms.Session.Snapshot(&buf); err != nil {
+		return 0, fmt.Errorf("snapshot %s: %w", ms.ID, err)
+	}
+	path := s.statePath(ms.ID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return buf.Len(), nil
+}
+
+// spillSession is the manager's eviction hook: persist the victim's cache
+// instead of discarding it. Errors are logged, not fatal — an eviction that
+// cannot spill degrades to the old discard behaviour.
+func (s *Server) spillSession(ms *ManagedSession) error {
+	n, err := s.saveSession(ms)
+	if err != nil {
+		s.logf("spill %s failed: %v", ms.ID, err)
+		return err
+	}
+	s.logf("spilled session %s to disk (%d bytes, %d cached pairs)", ms.ID, n, ms.Session.CachedPairs())
+	return nil
+}
+
+// removeSessionState deletes a session's snapshot file, so an explicitly
+// deleted session does not resurrect on the next boot. It reports whether a
+// file was actually removed (a spilled, non-resident session exists only as
+// its file).
+func (s *Server) removeSessionState(id string) bool {
+	if s.cfg.StateDir == "" || !validStateID(id) {
+		return false
+	}
+	err := os.Remove(s.statePath(id))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		s.logf("remove state %s: %v", id, err)
+	}
+	return err == nil
+}
+
+// loadSessionFile restores one session from its snapshot file, rehydrating
+// the dataset from the embedded spec or data.
+func (s *Server) loadSessionFile(id string) (*ManagedSession, error) {
+	f, err := os.Open(s.statePath(id))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sess, err := core.RestoreSession(f, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &ManagedSession{
+		ID:      id,
+		Spec:    sess.Spec,
+		Session: sess,
+		Created: time.Now(),
+	}, nil
+}
+
+// revive brings a spilled session back from disk under its original ID.
+// It reports whether the ID is worth re-acquiring: true on successful
+// admission and on ErrConflict (a racing request already revived it).
+func (s *Server) revive(id string) bool {
+	if s.cfg.StateDir == "" || !validStateID(id) {
+		return false
+	}
+	ms, err := s.loadSessionFile(id)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.logf("revive %s failed: %v", id, err)
+		}
+		return false
+	}
+	if err := s.mgr.AdmitAs(ms, id); err != nil {
+		if errors.Is(err, ErrConflict) {
+			return true
+		}
+		s.logf("revive %s not admitted: %v", id, err)
+		return false
+	}
+	s.logf("revived session %s from disk (%d cached pairs)", id, ms.Session.CachedPairs())
+	return true
+}
+
+// SaveState snapshots every resident session into the state dir — the
+// graceful-shutdown path. It returns how many sessions were saved and the
+// first error encountered (saving continues past individual failures).
+func (s *Server) SaveState() (int, error) {
+	if s.cfg.StateDir == "" {
+		return 0, nil
+	}
+	var firstErr error
+	saved := 0
+	for _, ms := range s.mgr.List() {
+		if _, err := s.saveSession(ms); err != nil {
+			s.logf("save state %s: %v", ms.ID, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		saved++
+	}
+	return saved, firstErr
+}
+
+// LoadState restores saved sessions from the state dir — the warm-boot
+// path. Sessions are admitted in ID order until the manager is full; the
+// rest stay on disk, revivable on demand. Corrupt or unreadable snapshots
+// are logged and skipped (boot never fails on a bad file). Returns how many
+// sessions were restored.
+func (s *Server) LoadState() (int, error) {
+	if s.cfg.StateDir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(s.cfg.StateDir)
+	if err != nil {
+		return 0, err
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapExt) {
+			continue
+		}
+		id := strings.TrimSuffix(name, snapExt)
+		if validStateID(id) {
+			ids = append(ids, id)
+		}
+	}
+	// Numeric order, so "s2" warm-starts before "s10".
+	sort.Slice(ids, func(a, b int) bool {
+		na, _ := strconv.ParseUint(ids[a][1:], 10, 63)
+		nb, _ := strconv.ParseUint(ids[b][1:], 10, 63)
+		return na < nb
+	})
+	restored := 0
+	for i, id := range ids {
+		if s.mgr.Len() >= s.cfg.Capacity {
+			s.logf("warm start: capacity reached, %d snapshots stay on disk", len(ids)-i)
+			break
+		}
+		ms, err := s.loadSessionFile(id)
+		if err != nil {
+			s.logf("warm start: skipping %s: %v", id, err)
+			continue
+		}
+		if err := s.mgr.AdmitAs(ms, id); err != nil {
+			s.logf("warm start: %s not admitted: %v", id, err)
+			continue
+		}
+		restored++
+		s.logf("warm start: restored session %s (%d cached pairs, %d probes)",
+			id, ms.Session.CachedPairs(), ms.Session.ProbeCount())
+	}
+	return restored, nil
+}

@@ -1,8 +1,10 @@
 #!/bin/sh
 # smoke-server.sh — the daemon smoke tier: build plasmad, start it on a
-# random port, run one full Fig 2.1 loop over HTTP (create session → probe
-# → curve → cues → stats), and shut it down cleanly with SIGTERM. Fails if
-# any request errors or the daemon does not exit gracefully.
+# random port with a state dir, run one full Fig 2.1 loop over HTTP (create
+# session → probe → curve → cues → stats), exercise the snapshot/restore
+# endpoints, shut it down cleanly with SIGTERM, then boot a second daemon
+# on the same state dir and verify the warm start (session back, cache
+# intact). Fails if any request errors or either daemon exits ungracefully.
 set -eu
 
 workdir=$(mktemp -d)
@@ -11,20 +13,40 @@ trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT INT TERM
 echo "smoke-server: building plasmad"
 go build -o "$workdir/plasmad" ./cmd/plasmad
 
-"$workdir/plasmad" -addr 127.0.0.1:0 -capacity 4 2>"$workdir/plasmad.log" &
-pid=$!
+# start LOGFILE [EXTRA_ARGS...] — boot a daemon, set $pid and $base.
+start() {
+    log=$1; shift
+    "$workdir/plasmad" -addr 127.0.0.1:0 -capacity 4 \
+        -state-dir "$workdir/state" "$@" 2>"$log" &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$log" | head -n 1)
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || { echo "smoke-server: daemon died on startup"; cat "$log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "smoke-server: never saw the listening line"; cat "$log"; exit 1; }
+    base="http://$addr"
+    echo "smoke-server: daemon up at $base (pid $pid)"
+}
 
-# The daemon logs "plasmad listening on 127.0.0.1:PORT" once bound.
-addr=""
-for _ in $(seq 1 50); do
-    addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$workdir/plasmad.log" | head -n 1)
-    [ -n "$addr" ] && break
-    kill -0 "$pid" 2>/dev/null || { echo "smoke-server: daemon died on startup"; cat "$workdir/plasmad.log"; exit 1; }
-    sleep 0.1
-done
-[ -n "$addr" ] || { echo "smoke-server: never saw the listening line"; cat "$workdir/plasmad.log"; exit 1; }
-base="http://$addr"
-echo "smoke-server: daemon up at $base (pid $pid)"
+# stop LOGFILE — SIGTERM the daemon and require a graceful exit.
+stop() {
+    log=$1
+    kill -TERM "$pid"
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "smoke-server: daemon did not exit within 10s of SIGTERM"
+        exit 1
+    fi
+    wait "$pid" 2>/dev/null || true
+    grep -q "plasmad shut down" "$log" || {
+        echo "smoke-server: missing graceful-shutdown log line"; cat "$log"; exit 1; }
+}
 
 req() {
     # req NAME EXPECTED_SUBSTRING CURL_ARGS... — expects HTTP success
@@ -48,6 +70,8 @@ reqerr() {
     esac
 }
 
+start "$workdir/plasmad.log"
+
 req healthz '"status":"ok"' "$base/healthz"
 req create '"id":"s1"' -X POST "$base/v1/sessions" \
     -d '{"dataset":{"kind":"toy"},"seed":1}'
@@ -57,18 +81,37 @@ req curve '"knee"' "$base/v1/sessions/s1/curve?lo=0.3&hi=0.9&steps=7"
 req cues '"triangles"' "$base/v1/sessions/s1/cues?t=0.5"
 req stats '"probes":' "$base/v1/stats"
 reqerr badjson bad_request -X POST "$base/v1/sessions/s1/probe" -d '{nope'
+reqerr trailing bad_request -X POST "$base/v1/sessions/s1/probe" \
+    -d '{"threshold":0.5}garbage'
 reqerr notfound not_found "$base/v1/sessions/zzz/curve"
 
-kill -TERM "$pid"
-for _ in $(seq 1 100); do
-    kill -0 "$pid" 2>/dev/null || break
-    sleep 0.1
-done
-if kill -0 "$pid" 2>/dev/null; then
-    echo "smoke-server: daemon did not exit within 10s of SIGTERM"
-    exit 1
-fi
-wait "$pid" 2>/dev/null || true
-grep -q "plasmad shut down" "$workdir/plasmad.log" || {
-    echo "smoke-server: missing graceful-shutdown log line"; cat "$workdir/plasmad.log"; exit 1; }
-echo "smoke-server: clean shutdown — all checks passed"
+# Snapshot round trip over HTTP: download, restore as a fresh session.
+curl -sS --fail --max-time 30 -X POST -o "$workdir/s1.snap" \
+    "$base/v1/sessions/s1/snapshot" || {
+    echo "smoke-server: snapshot download failed"; exit 1; }
+[ -s "$workdir/s1.snap" ] || { echo "smoke-server: empty snapshot"; exit 1; }
+echo "smoke-server: snapshot ok ($(wc -c < "$workdir/s1.snap") bytes)"
+req restore '"cachedPairs"' -X POST --data-binary "@$workdir/s1.snap" \
+    "$base/v1/sessions/restore"
+reqerr badsnap bad_snapshot -X POST --data-binary 'junk' \
+    "$base/v1/sessions/restore"
+req persist '"path"' -X POST "$base/v1/sessions/s1/snapshot?persist=1"
+
+stop "$workdir/plasmad.log"
+echo "smoke-server: first daemon down, rebooting on the same state dir"
+
+# Warm start: the same state dir must bring s1 back with its cache.
+start "$workdir/plasmad2.log"
+req warmsession '"id":"s1"' "$base/v1/sessions/s1"
+warm=$(curl -sS --max-time 30 "$base/v1/sessions/s1")
+case "$warm" in
+    *'"cachedPairs":0'*) echo "smoke-server: warm start lost the cache: $warm"; exit 1 ;;
+    *'"probes":1'*) echo "smoke-server: warm cache intact" ;;
+    *) echo "smoke-server: unexpected warm session: $warm"; exit 1 ;;
+esac
+req warmstats '"sessionsRestored"' "$base/v1/stats"
+req warmprobe '"cacheHits"' -X POST "$base/v1/sessions/s1/probe" \
+    -d '{"threshold":0.5}'
+
+stop "$workdir/plasmad2.log"
+echo "smoke-server: clean shutdown x2 — all checks passed"
