@@ -265,6 +265,12 @@ func (c *Cache) EncodeSnapshot(w io.Writer) error {
 const (
 	maxSnapRows      = 1 << 28
 	maxSnapMaxHashes = 1 << 20
+	// maxSnapPrealloc bounds any slice capacity taken from a declared count
+	// before the elements behind it have been read. Counts are untrusted
+	// (snapshots can arrive over the wire), so slices grow by append as
+	// bytes actually arrive: a fabricated count in a tiny stream can never
+	// allocate more than the stream backs.
+	maxSnapPrealloc = 1 << 12
 )
 
 // DecodeSnapshot reads a cache snapshot written by EncodeSnapshot,
@@ -328,38 +334,50 @@ func DecodeSnapshot(r io.Reader) (*Cache, error) {
 		conc:       make([][]bool, p.schedulePoints()),
 	}
 
-	switch kind := sr.u8(); kind {
-	case sketchKindMinhash:
-		c.minSigs = make([][]uint32, n)
+	// The sketch kind is a pure function of the measure (NewCache builds
+	// minhash for Jaccard, SRP for cosine) and every signature has the exact
+	// schedule length — the comparison kernels index both signatures without
+	// bounds checks, so a ragged or mislabeled sketch block would make later
+	// probes panic instead of failing the decode here.
+	kind := sr.u8()
+	wantKind := uint8(sketchKindSRP)
+	if measure == vec.JaccardSim {
+		wantKind = sketchKindMinhash
+	}
+	if sr.err == nil && kind != wantKind {
+		sr.corrupt("sketch kind %d does not match measure %v", kind, measure)
+	}
+	switch {
+	case sr.err != nil:
+	case kind == sketchKindMinhash:
+		c.minSigs = make([][]uint32, 0, min(n, maxSnapPrealloc))
 		for i := 0; i < n && sr.err == nil; i++ {
 			ln := int(sr.u32())
-			if ln > p.MaxHashes {
-				sr.corrupt("row %d: minhash signature length %d exceeds MaxHashes %d", i, ln, p.MaxHashes)
+			if sr.err == nil && ln != p.MaxHashes {
+				sr.corrupt("row %d: minhash signature length %d, want MaxHashes %d", i, ln, p.MaxHashes)
 				break
 			}
-			sig := make([]uint32, ln)
-			for k := range sig {
-				sig[k] = sr.u32()
+			sig := make([]uint32, 0, min(ln, maxSnapPrealloc))
+			for k := 0; k < ln && sr.err == nil; k++ {
+				sig = append(sig, sr.u32())
 			}
-			c.minSigs[i] = sig
+			c.minSigs = append(c.minSigs, sig)
 		}
-	case sketchKindSRP:
+	case kind == sketchKindSRP:
 		words := (p.MaxHashes + 63) / 64
-		c.srpSigs = make([][]uint64, n)
+		c.srpSigs = make([][]uint64, 0, min(n, maxSnapPrealloc))
 		for i := 0; i < n && sr.err == nil; i++ {
 			ln := int(sr.u32())
-			if ln > words {
-				sr.corrupt("row %d: SRP signature length %d exceeds %d words", i, ln, words)
+			if sr.err == nil && ln != words {
+				sr.corrupt("row %d: SRP signature length %d, want %d words", i, ln, words)
 				break
 			}
-			sig := make([]uint64, ln)
-			for k := range sig {
-				sig[k] = sr.u64()
+			sig := make([]uint64, 0, min(ln, maxSnapPrealloc))
+			for k := 0; k < ln && sr.err == nil; k++ {
+				sig = append(sig, sr.u64())
 			}
-			c.srpSigs[i] = sig
+			c.srpSigs = append(c.srpSigs, sig)
 		}
-	default:
-		sr.corrupt("unknown sketch kind %d", kind)
 	}
 	if sr.err != nil {
 		return nil, sr.err

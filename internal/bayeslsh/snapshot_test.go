@@ -207,3 +207,112 @@ func TestSnapshotRejectsDamage(t *testing.T) {
 		}
 	})
 }
+
+// TestSnapshotHugeDeclaredCounts feeds the decoder a tiny stream whose
+// in-bounds length fields declare an enormous cache. The decode must die on
+// the truncation, not preallocate gigabytes from the declared counts — the
+// restore endpoint accepts attacker-built snapshots, so a ~100-byte body
+// must never buy a multi-gigabyte allocation.
+func TestSnapshotHugeDeclaredCounts(t *testing.T) {
+	for _, tc := range []struct {
+		kind    uint8
+		measure vec.Measure
+	}{
+		{sketchKindMinhash, vec.JaccardSim},
+		{sketchKindSRP, vec.CosineSim},
+	} {
+		var buf bytes.Buffer
+		sw := newSnapWriter(&buf)
+		sw.bytes(cacheSnapMagic[:])
+		sw.u16(CacheSnapshotVersion)
+		p := DefaultParams()
+		sw.f64(p.Epsilon)
+		sw.f64(p.Delta)
+		sw.f64(p.Gamma)
+		sw.u32(uint32(p.MaxHashes))
+		sw.u32(uint32(p.Step))
+		sw.f64(p.MaxDFFrac)
+		sw.u8(0) // Lite
+		sw.u32(uint32(p.Workers))
+		sw.i64(7)                // seed
+		sw.u8(uint8(tc.measure)) // measure
+		sw.u32(maxSnapRows)      // declared rows: in-bounds but absurd
+		sw.i64(0)                // sketch time
+		sw.u8(tc.kind)
+		// The stream ends here: none of the declared rows exist.
+		if sw.err != nil {
+			t.Fatal(sw.err)
+		}
+		_, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+		if !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("sketch kind %d: err = %v, want ErrSnapshotCorrupt", tc.kind, err)
+		}
+	}
+}
+
+// TestSnapshotRejectsRaggedSignatures pins that a CRC-valid snapshot whose
+// sketch block violates the cache invariants — signature lengths that do not
+// match the schedule, or a sketch kind that contradicts the measure — is
+// refused at decode. The comparison kernels index both signatures of a pair
+// without bounds checks, so admitting such a cache would let a crafted
+// restore upload panic later probe handlers.
+func TestSnapshotRejectsRaggedSignatures(t *testing.T) {
+	p := DefaultParams()
+	encode := func(measure vec.Measure, kind uint8, sigLens []int) []byte {
+		var buf bytes.Buffer
+		sw := newSnapWriter(&buf)
+		sw.bytes(cacheSnapMagic[:])
+		sw.u16(CacheSnapshotVersion)
+		sw.f64(p.Epsilon)
+		sw.f64(p.Delta)
+		sw.f64(p.Gamma)
+		sw.u32(uint32(p.MaxHashes))
+		sw.u32(uint32(p.Step))
+		sw.f64(p.MaxDFFrac)
+		sw.u8(0) // Lite
+		sw.u32(uint32(p.Workers))
+		sw.i64(7) // seed
+		sw.u8(uint8(measure))
+		sw.u32(uint32(len(sigLens))) // rows
+		sw.i64(0)                    // sketch time
+		sw.u8(kind)
+		for _, ln := range sigLens {
+			sw.u32(uint32(ln))
+			for k := 0; k < ln; k++ {
+				if kind == sketchKindMinhash {
+					sw.u32(uint32(k))
+				} else {
+					sw.u64(uint64(k))
+				}
+			}
+		}
+		sw.u32(1) // shards
+		sw.u32(0) // no pair entries
+		if err := sw.finish(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	words := (p.MaxHashes + 63) / 64
+	cases := []struct {
+		name    string
+		measure vec.Measure
+		kind    uint8
+		sigLens []int
+	}{
+		{"ragged minhash", vec.JaccardSim, sketchKindMinhash, []int{p.MaxHashes, 0}},
+		{"short minhash", vec.JaccardSim, sketchKindMinhash, []int{p.MaxHashes - 1, p.MaxHashes - 1}},
+		{"ragged SRP", vec.CosineSim, sketchKindSRP, []int{words, 0}},
+		{"kind contradicts measure", vec.JaccardSim, sketchKindSRP, []int{words, words}},
+		{"unknown kind", vec.CosineSim, 9, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeSnapshot(bytes.NewReader(encode(tc.measure, tc.kind, tc.sigLens)))
+			if !errors.Is(err, ErrSnapshotCorrupt) {
+				t.Fatalf("err = %v, want ErrSnapshotCorrupt", err)
+			}
+		})
+	}
+}

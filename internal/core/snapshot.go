@@ -70,6 +70,12 @@ func (e *SnapshotMismatchError) Error() string {
 const (
 	snapMaxStringLen = 1 << 16
 	snapMaxRows      = 1 << 28
+	// snapPreallocCap bounds any slice capacity taken from a declared count
+	// before the elements behind it have been read. Counts are untrusted
+	// (POST /v1/sessions/restore accepts uploaded snapshots), so slices grow
+	// by append as bytes actually arrive: a fabricated count in a tiny body
+	// can never allocate more than the stream backs.
+	snapPreallocCap = 1 << 12
 )
 
 // sessWriter / sessReader mirror the bayeslsh codec helpers: CRC over every
@@ -310,19 +316,25 @@ func decodeDataset(sr *sessReader) *vec.Dataset {
 		sr.corrupt("unknown dataset measure %d", int(ds.Measure))
 		return nil
 	}
-	ds.Rows = make([]vec.Sparse, 0, n)
+	ds.Rows = make([]vec.Sparse, 0, min(n, snapPreallocCap))
 	for i := 0; i < n && sr.err == nil; i++ {
 		nnz := int(sr.u32())
 		if nnz < 0 || nnz > ds.Dim {
 			sr.corrupt("row %d: %d non-zeros over dimension %d", i, nnz, ds.Dim)
 			return nil
 		}
-		row := vec.Sparse{Indices: make([]int32, nnz), Values: make([]float64, nnz)}
-		for k := range row.Indices {
-			row.Indices[k] = int32(sr.u32())
+		row := vec.Sparse{
+			Indices: make([]int32, 0, min(nnz, snapPreallocCap)),
+			Values:  make([]float64, 0, min(nnz, snapPreallocCap)),
 		}
-		for k := range row.Values {
-			row.Values[k] = sr.f64()
+		for k := 0; k < nnz && sr.err == nil; k++ {
+			row.Indices = append(row.Indices, int32(sr.u32()))
+		}
+		for k := 0; k < nnz && sr.err == nil; k++ {
+			row.Values = append(row.Values, sr.f64())
+		}
+		if sr.err != nil {
+			return nil
 		}
 		for k, ix := range row.Indices {
 			if ix < 0 || int(ix) >= ds.Dim || (k > 0 && row.Indices[k-1] >= ix) {
@@ -444,7 +456,7 @@ func RestoreSession(r io.Reader, ds *vec.Dataset) (*Session, error) {
 	if nProbes < 0 || nProbes > snapMaxRows {
 		return nil, fmt.Errorf("%w: probe count %d out of range", ErrSessionSnapshotCorrupt, nProbes)
 	}
-	probes := make([]ProbeRecord, 0, nProbes)
+	probes := make([]ProbeRecord, 0, min(nProbes, snapPreallocCap))
 	for i := 0; i < nProbes && sr.err == nil; i++ {
 		var pr ProbeRecord
 		pr.Threshold = sr.f64()
@@ -457,11 +469,12 @@ func RestoreSession(r io.Reader, ds *vec.Dataset) (*Session, error) {
 			sr.corrupt("probe %d: pair count %d out of range", i, nPairs)
 			break
 		}
-		res.Pairs = make([]bayeslsh.Pair, nPairs)
-		for k := range res.Pairs {
-			res.Pairs[k].I = int32(sr.u32())
-			res.Pairs[k].J = int32(sr.u32())
-			res.Pairs[k].Est = sr.f64()
+		res.Pairs = make([]bayeslsh.Pair, 0, min(nPairs, snapPreallocCap))
+		for k := 0; k < nPairs && sr.err == nil; k++ {
+			i := int32(sr.u32())
+			j := int32(sr.u32())
+			est := sr.f64()
+			res.Pairs = append(res.Pairs, bayeslsh.Pair{I: i, J: j, Est: est})
 		}
 		res.Candidates = int(sr.i64())
 		res.Pruned = int(sr.i64())
@@ -488,6 +501,13 @@ func RestoreSession(r io.Reader, ds *vec.Dataset) (*Session, error) {
 		case embedded != nil:
 			ds = embedded
 		case !spec.IsZero():
+			// Refuse a spec that cannot match the cache before paying the
+			// generation cost: the snapshot records the row count the cache
+			// was built over, and for kinds where the spec determines the
+			// row count exactly a disagreement is already a mismatch.
+			if rows, ok := spec.ExpectedRows(); ok && rows != cache.N {
+				return nil, &SnapshotMismatchError{Field: "rows", Snapshot: cache.N, Dataset: rows}
+			}
 			ds, err = dataset.Load(spec)
 			if err != nil {
 				return nil, err

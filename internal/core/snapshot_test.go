@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"testing"
 
@@ -291,4 +292,47 @@ func TestSpecBinaryRoundTrip(t *testing.T) {
 	if err := out.UnmarshalBinary([]byte{99}); err == nil {
 		t.Error("bad version decoded")
 	}
+}
+
+// TestRestoreSessionHugeDeclaredCounts feeds RestoreSession tiny streams
+// whose in-bounds count fields declare enormous payloads (dataset rows,
+// probe records). The decode must die on the truncation, not preallocate
+// gigabytes from the declared counts — POST /v1/sessions/restore accepts
+// attacker-built snapshots.
+func TestRestoreSessionHugeDeclaredCounts(t *testing.T) {
+	header := func(sw *sessWriter) {
+		sw.bytes(sessSnapMagic[:])
+		sw.bytes(binary.LittleEndian.AppendUint16(nil, SessionSnapshotVersion))
+		sw.blob(nil) // no spec
+	}
+	t.Run("dataset rows", func(t *testing.T) {
+		var buf bytes.Buffer
+		sw := newSessWriter(&buf)
+		header(sw)
+		sw.u8(1) // embedded dataset follows
+		sw.str("evil")
+		sw.u32(1 << 20)             // dim
+		sw.u8(uint8(vec.CosineSim)) // measure
+		sw.u32(snapMaxRows)         // declared rows; the stream ends here
+		if sw.err != nil {
+			t.Fatal(sw.err)
+		}
+		if _, err := RestoreSession(bytes.NewReader(buf.Bytes()), nil); !errors.Is(err, ErrSessionSnapshotCorrupt) {
+			t.Fatalf("err = %v, want ErrSessionSnapshotCorrupt", err)
+		}
+	})
+	t.Run("probe records", func(t *testing.T) {
+		var buf bytes.Buffer
+		sw := newSessWriter(&buf)
+		header(sw)
+		sw.u8(0)            // no embedded dataset
+		sw.u64(0)           // dataset hash
+		sw.u32(snapMaxRows) // declared probe count; the stream ends here
+		if sw.err != nil {
+			t.Fatal(sw.err)
+		}
+		if _, err := RestoreSession(bytes.NewReader(buf.Bytes()), nil); !errors.Is(err, ErrSessionSnapshotCorrupt) {
+			t.Fatalf("err = %v, want ErrSessionSnapshotCorrupt", err)
+		}
+	})
 }

@@ -34,6 +34,48 @@ type Spec struct {
 // Kinds returns the spec kinds Load understands, in sorted order.
 func Kinds() []string { return []string{"corpus", "graph", "table", "toy"} }
 
+// Generation ceilings for graph specs. Specs arrive off the wire (session
+// creation, snapshot restore), and unlike table/corpus — which only shrink
+// below a built-in source size — the graph generators scale with Rows/Edges
+// unbounded, so an absurd request must fail fast instead of generating
+// gigabytes before any later validation runs.
+const (
+	// MaxGraphRows caps the vertex count of a generated graph dataset.
+	MaxGraphRows = 1 << 20
+	// MaxGraphEdges caps the target edge count of a generated graph dataset.
+	MaxGraphEdges = 1 << 24
+)
+
+// graphSize resolves a graph spec's vertex and edge counts, applying the
+// same defaults Load does.
+func graphSize(spec Spec) (n, m int) {
+	n = spec.Rows
+	if n <= 0 {
+		n = 500
+	}
+	m = spec.Edges
+	if m <= 0 {
+		m = 4 * n
+	}
+	return n, m
+}
+
+// ExpectedRows returns the exact row count Load will produce for the spec,
+// for the kinds where that is derivable without generating the data (graph
+// and toy); ok is false otherwise. Snapshot restore uses it to refuse a spec
+// that disagrees with the cache it is supposed to serve before paying the
+// generation cost.
+func (s Spec) ExpectedRows() (rows int, ok bool) {
+	switch s.Kind {
+	case "graph":
+		n, _ := graphSize(s)
+		return n, true
+	case "toy":
+		return 50, true
+	}
+	return 0, false
+}
+
 // Source describes one loadable family for discovery endpoints and CLIs.
 type Source struct {
 	Kind  string   `json:"kind"`
@@ -76,13 +118,12 @@ func Load(spec Spec) (*vec.Dataset, error) {
 		if _, ok := gen.Lookup(model); !ok {
 			return nil, fmt.Errorf("dataset: unknown graph model %q (known: %v)", spec.Name, gen.Models())
 		}
-		n := spec.Rows
-		if n <= 0 {
-			n = 500
+		n, m := graphSize(spec)
+		if n > MaxGraphRows {
+			return nil, fmt.Errorf("dataset: graph rows %d exceeds the %d limit", n, MaxGraphRows)
 		}
-		m := spec.Edges
-		if m <= 0 {
-			m = 4 * n
+		if m > MaxGraphEdges {
+			return nil, fmt.Errorf("dataset: graph edges %d exceeds the %d limit", m, MaxGraphEdges)
 		}
 		return FromGraph(gen.Generate(model, n, m, spec.Seed), fmt.Sprintf("%s-n%d-m%d", spec.Name, n, m)), nil
 	case "":

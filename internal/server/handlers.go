@@ -496,11 +496,19 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	err := s.mgr.Remove(id)
-	// Remove the on-disk snapshot either way: a session that was spilled to
-	// disk (so not resident) must still be deletable, not left to resurrect
-	// on the next boot.
+	// Under stateMu so the removals cannot interleave with a revive's file
+	// load. The tombstone goes first and covers the in-flight windows the
+	// lock cannot: an eviction spill whose victim is already unlinked but
+	// whose file is not yet written skips the write, and a revive that
+	// already loaded the file sweeps its own admission (see revive).
+	s.stateMu.Lock()
+	s.markDeleted(id)
 	removedFile := s.removeSessionState(id)
+	err := s.mgr.Remove(id)
+	s.stateMu.Unlock()
+	// The file removal counts as a successful delete on its own: a session
+	// that was spilled to disk (so not resident) must still be deletable,
+	// not left to resurrect on the next boot.
 	if err != nil && !removedFile {
 		s.writeError(w, http.StatusNotFound, "not_found", "no session %q", id)
 		return
@@ -796,26 +804,39 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
+// maxBytesTracker passes reads through while remembering whether the
+// middleware's http.MaxBytesReader tripped. The snapshot decoder wraps read
+// errors into its own typed corruption errors, so without the tracker an
+// oversized upload would be indistinguishable from a truncated one.
+type maxBytesTracker struct {
+	r      io.Reader
+	tooBig *http.MaxBytesError
+}
+
+func (t *maxBytesTracker) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		t.tooBig = mbe
+	}
+	return n, err
+}
+
 // handleRestore recreates a session from an uploaded binary snapshot under
 // a fresh ID. The dataset is rehydrated from the snapshot itself (embedded
 // spec or embedded data); a snapshot that fails validation is refused with
-// the typed reason, never admitted as a silently-wrong cache.
+// the typed reason, never admitted as a silently-wrong cache. The body is
+// decoded as a stream — RestoreSession never needs the whole upload in
+// memory, and snapshots run to the (default 1 GiB) restore body cap.
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
-	// Read the body first so an oversized upload surfaces as the typed
-	// MaxBytesError (413) instead of a generic decode failure.
-	data, err := io.ReadAll(r.Body)
+	body := &maxBytesTracker{r: r.Body}
+	sess, err := core.RestoreSession(body, nil)
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
+		if body.tooBig != nil {
 			s.writeError(w, http.StatusRequestEntityTooLarge, "too_large",
-				"snapshot exceeds the %d-byte limit", tooBig.Limit)
-		} else {
-			s.writeError(w, http.StatusBadRequest, "bad_request", "reading snapshot: %v", err)
+				"snapshot exceeds the %d-byte limit", body.tooBig.Limit)
+			return
 		}
-		return
-	}
-	sess, err := core.RestoreSession(bytes.NewReader(data), nil)
-	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad_snapshot", "%v", err)
 		return
 	}

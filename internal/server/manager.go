@@ -39,9 +39,10 @@ type Manager struct {
 
 	// spill, when set, receives each session evicted for capacity before it
 	// is dropped, so its knowledge cache can be written to disk instead of
-	// discarded. It runs under mu (eviction is rare; correctness over
-	// concurrency), with an idle victim, and must not call back into the
-	// manager.
+	// discarded. admit invokes it after releasing mu — a spill is a full
+	// session encode plus a file write, too slow to hold the manager lock
+	// for — on a victim that is idle and already unlinked from the session
+	// map, so the hook must tolerate manager calls running concurrently.
 	spill func(*ManagedSession) error
 
 	mu       sync.Mutex

@@ -19,6 +19,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 )
 
@@ -49,6 +50,23 @@ type Server struct {
 	mux   *http.ServeMux
 	hsrv  *http.Server
 	start time.Time
+
+	// stateMu serializes disk revives and eviction spills against DELETEs.
+	// Without it a DELETE that misses a spilled session in the manager can
+	// interleave with a concurrent revive of the same ID: the revive
+	// re-admits the session after the map check, the DELETE then removes
+	// only the file, and a 204'd session lives on in memory (and
+	// re-persists at shutdown). All three paths are rare, so one lock is
+	// correctness at no meaningful cost.
+	stateMu sync.Mutex
+	// deleted tombstones explicitly DELETEd session IDs (under stateMu).
+	// An eviction spill runs after the victim is already unlinked from the
+	// manager, so a DELETE racing that window sees neither a resident
+	// session nor a state file — without the tombstone the spill would then
+	// write the file and resurrect the deleted session. Only IDs the
+	// daemon could have minted are recorded (see markDeleted), so the set
+	// is bounded by sessions ever created.
+	deleted map[string]bool
 }
 
 // New builds a server (routes registered, not yet listening).
@@ -68,7 +86,13 @@ func New(cfg Config) *Server {
 	if cfg.MaxSnapshotBytes == 0 {
 		cfg.MaxSnapshotBytes = 1 << 30
 	}
-	s := &Server{cfg: cfg, mgr: NewManager(cfg.Capacity), mux: http.NewServeMux(), start: time.Now()}
+	s := &Server{
+		cfg:     cfg,
+		mgr:     NewManager(cfg.Capacity),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		deleted: make(map[string]bool),
+	}
 	for _, rt := range s.Routes() {
 		s.mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
 	}

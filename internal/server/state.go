@@ -67,8 +67,17 @@ func (s *Server) saveSession(ms *ManagedSession) (int, error) {
 
 // spillSession is the manager's eviction hook: persist the victim's cache
 // instead of discarding it. Errors are logged, not fatal — an eviction that
-// cannot spill degrades to the old discard behaviour.
+// cannot spill degrades to the old discard behaviour. It runs under stateMu:
+// the victim is already unlinked from the manager, so a DELETE racing this
+// window finds nothing to remove, and only the tombstone check here stops
+// the spill from writing the file back after the delete returned.
 func (s *Server) spillSession(ms *ManagedSession) error {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if s.deleted[ms.ID] {
+		s.logf("spill %s skipped: session was deleted", ms.ID)
+		return fmt.Errorf("session %s deleted during eviction", ms.ID)
+	}
 	n, err := s.saveSession(ms)
 	if err != nil {
 		s.logf("spill %s failed: %v", ms.ID, err)
@@ -76,6 +85,22 @@ func (s *Server) spillSession(ms *ManagedSession) error {
 	}
 	s.logf("spilled session %s to disk (%d bytes, %d cached pairs)", ms.ID, n, ms.Session.CachedPairs())
 	return nil
+}
+
+// markDeleted tombstones an explicitly deleted session ID so an in-flight
+// eviction spill cannot write its file back (the spill runs on a victim
+// already unlinked from the manager, outside anything the DELETE can
+// observe). Only IDs the daemon could actually have minted are recorded, so
+// DELETE spam on fabricated IDs cannot grow the set beyond sessions ever
+// created. Callers hold stateMu.
+func (s *Server) markDeleted(id string) {
+	if s.cfg.StateDir == "" || !validStateID(id) {
+		return
+	}
+	if n, _ := strconv.ParseUint(id[1:], 10, 63); int64(n) > s.mgr.nextID.Load() {
+		return
+	}
+	s.deleted[id] = true
 }
 
 // removeSessionState deletes a session's snapshot file, so an explicitly
@@ -116,11 +141,24 @@ func (s *Server) loadSessionFile(id string) (*ManagedSession, error) {
 // revive brings a spilled session back from disk under its original ID.
 // It reports whether the ID is worth re-acquiring: true on successful
 // admission and on ErrConflict (a racing request already revived it).
+//
+// Coordination with DELETE (see Server.stateMu): the file load runs under
+// stateMu so it cannot race the delete's file removal, but the admission
+// deliberately does not — AdmitAs can evict, and the eviction spill takes
+// stateMu itself, so holding it across the admit would self-deadlock. A
+// DELETE landing in that unlocked window is caught by the tombstone
+// re-check after the admit, which sweeps the just-revived session.
 func (s *Server) revive(id string) bool {
 	if s.cfg.StateDir == "" || !validStateID(id) {
 		return false
 	}
+	s.stateMu.Lock()
+	if s.deleted[id] {
+		s.stateMu.Unlock()
+		return false
+	}
 	ms, err := s.loadSessionFile(id)
+	s.stateMu.Unlock()
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
 			s.logf("revive %s failed: %v", id, err)
@@ -132,6 +170,13 @@ func (s *Server) revive(id string) bool {
 			return true
 		}
 		s.logf("revive %s not admitted: %v", id, err)
+		return false
+	}
+	s.stateMu.Lock()
+	deleted := s.deleted[id]
+	s.stateMu.Unlock()
+	if deleted {
+		_ = s.mgr.Remove(id)
 		return false
 	}
 	s.logf("revived session %s from disk (%d cached pairs)", id, ms.Session.CachedPairs())

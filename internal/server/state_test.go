@@ -287,10 +287,20 @@ func TestBodyCap413(t *testing.T) {
 
 	// The restore endpoint (binary body) has its own, larger cap — the
 	// daemon's own snapshots routinely exceed the JSON body cap — but it
-	// is still a cap.
-	st, out = rawPost(t, ts.URL+"/v1/sessions/restore", "application/octet-stream", big)
+	// is still a cap. The decoder streams, so the cap trips when a
+	// well-formed prefix keeps it reading: magic, version, then a declared
+	// spec blob longer than the whole cap.
+	snapBody := append([]byte("PLHDSESS\x01\x00"), 0x60, 0xEA, 0x00, 0x00) // blob length 60000
+	snapBody = append(snapBody, big...)
+	st, out = rawPost(t, ts.URL+"/v1/sessions/restore", "application/octet-stream", snapBody)
 	if st != http.StatusRequestEntityTooLarge || !strings.Contains(string(out), "too_large") {
 		t.Fatalf("oversized restore: status %d body %s", st, out)
+	}
+	// A body that is invalid from its first bytes is refused as a bad
+	// snapshot without reading the rest, however large it is.
+	st, out = rawPost(t, ts.URL+"/v1/sessions/restore", "application/octet-stream", big)
+	if st != http.StatusBadRequest || !strings.Contains(string(out), "bad_snapshot") {
+		t.Fatalf("oversized garbage restore: status %d body %s", st, out)
 	}
 	// Between the two caps, restore accepts what a plain JSON route rejects.
 	st, out = rawPost(t, ts.URL+"/v1/sessions/restore", "application/octet-stream", big[:3000])
