@@ -4,7 +4,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_new.json
 BENCH_SCALE ?= 100
 
-.PHONY: all build vet test short race bench bench-workers bench-json serve smoke-server ci
+.PHONY: all build vet test short race bench bench-workers bench-repeat bench-json serve smoke-server ci
 
 all: build
 
@@ -33,6 +33,11 @@ bench:
 # bench-workers isolates the Search worker-pool speedup.
 bench-workers:
 	$(GO) test -run xxx -bench 'BenchmarkSearchWorkers[0-9]+$$' -benchmem ./internal/bayeslsh
+
+# bench-repeat isolates the warm-cache repeat-probe cost (persistent
+# candidate index + pooled scratch): wall time and allocs/op.
+bench-repeat:
+	$(GO) test -run xxx -bench 'BenchmarkRepeatProbe$$' -benchmem .
 
 # bench-json emits the machine-readable perf trajectory (per-experiment wall
 # times + knowledge-cache workload stats) to $(BENCH_OUT). Compare against

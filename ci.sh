@@ -11,7 +11,10 @@
 # cues loop over HTTP, exercise snapshot persistence and a warm restart,
 # and verify graceful shutdown.
 # Tier 4 (bench json): plasmabench -json must produce a well-formed
-# machine-readable report — the perf trajectory artifact.
+# machine-readable report — the perf trajectory artifact — and benchdiff
+# compares it against the checked-in BENCH_baseline.json: schema drift
+# (version bump, missing block, changed experiment set) fails the build,
+# timing regressions are warn-only.
 # Tier 5 (full, optional via CI_FULL=1): the complete test suite including
 # the seconds-long experiment sweeps.
 set -eu
@@ -28,11 +31,17 @@ make smoke-server
 echo "== tier 4: plasmabench machine-readable report =="
 bench_out=$(mktemp)
 trap 'rm -f "$bench_out"' EXIT
-make bench-json BENCH_OUT="$bench_out" BENCH_SCALE=60
-grep -q '"schema": 1' "$bench_out" || {
+# The scale must match BENCH_baseline.json's: benchdiff only compares wall
+# times when scale and seed agree, so a mismatched scale would silently
+# reduce tier 4 to a schema-only gate.
+make bench-json BENCH_OUT="$bench_out" BENCH_SCALE=100
+grep -q '"schema"' "$bench_out" || {
     echo "ci: bench-json produced no schema marker"; exit 1; }
 grep -q '"cachedPairs"' "$bench_out" || {
     echo "ci: bench-json missing cache stats"; exit 1; }
+grep -q '"repeatProbe"' "$bench_out" || {
+    echo "ci: bench-json missing repeat-probe stats"; exit 1; }
+go run ./cmd/benchdiff BENCH_baseline.json "$bench_out"
 echo "ci: bench-json ok ($(wc -c < "$bench_out") bytes)"
 
 if [ "${CI_FULL:-0}" = "1" ]; then

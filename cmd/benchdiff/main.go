@@ -1,0 +1,152 @@
+// Command benchdiff compares a fresh plasmabench -json report against the
+// checked-in baseline (BENCH_baseline.json) — the CI tier-4 gate.
+//
+// Usage:
+//
+//	benchdiff BASELINE.json FRESH.json
+//
+// Schema drift is a hard failure (exit 1): a schema version mismatch, a
+// missing cache or repeatProbe block, or a changed experiment-ID set means
+// the report shape silently diverged from what downstream tooling parses,
+// and the baseline must be regenerated deliberately (make bench-json, then
+// copy over BENCH_baseline.json).
+//
+// Performance regressions are warn-only (exit 0): wall times move with the
+// machine, so CI reports them without failing the build. Times are only
+// compared when both reports ran at the same scale and seed; otherwise the
+// comparison is skipped with a note.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// report mirrors the plasmabench -json shape loosely: only the fields the
+// diff needs, so incidental additions do not break the tool.
+type report struct {
+	Schema      int     `json:"schema"`
+	Scale       int     `json:"scale"`
+	Seed        int64   `json:"seed"`
+	TotalMillis float64 `json:"totalMillis"`
+	Experiments []struct {
+		ID     string  `json:"id"`
+		Millis float64 `json:"millis"`
+	} `json:"experiments"`
+	Cache *struct {
+		CachedPairs int `json:"cachedPairs"`
+	} `json:"cache"`
+	RepeatProbe *struct {
+		FirstMillis float64 `json:"firstMillis"`
+		WarmMillis  float64 `json:"warmMillis"`
+	} `json:"repeatProbe"`
+}
+
+// warnFactor is the slowdown beyond which a timing difference is reported.
+// Generous on purpose: CI machines are noisy and regressions are warn-only.
+const warnFactor = 1.5
+
+func load(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func ids(r *report) []string {
+	out := make([]string, len(r.Experiments))
+	for i, e := range r.Experiments {
+		out[i] = e.ID
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff BASELINE.json FRESH.json")
+		os.Exit(2)
+	}
+	base, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	// ---- schema drift: hard failures ----
+	drift := 0
+	fail := func(format string, args ...any) {
+		drift++
+		fmt.Fprintf(os.Stderr, "benchdiff: SCHEMA DRIFT: "+format+"\n", args...)
+	}
+	if base.Schema != fresh.Schema {
+		fail("schema %d in baseline, %d in fresh report", base.Schema, fresh.Schema)
+	}
+	if fresh.Cache == nil {
+		fail("fresh report has no cache block")
+	}
+	if fresh.RepeatProbe == nil {
+		fail("fresh report has no repeatProbe block")
+	}
+	bids, fids := ids(base), ids(fresh)
+	if len(bids) != len(fids) {
+		fail("%d experiments in baseline, %d in fresh report", len(bids), len(fids))
+	} else {
+		for i := range bids {
+			if bids[i] != fids[i] {
+				fail("experiment set differs: baseline has %s where fresh has %s", bids[i], fids[i])
+				break
+			}
+		}
+	}
+	if drift > 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: regenerate the baseline deliberately: make bench-json && cp BENCH_new.json BENCH_baseline.json")
+		os.Exit(1)
+	}
+
+	// ---- performance: warn-only ----
+	if base.Scale != fresh.Scale || base.Seed != fresh.Seed {
+		fmt.Printf("benchdiff: schema ok; timing comparison skipped (baseline scale=%d seed=%d, fresh scale=%d seed=%d)\n",
+			base.Scale, base.Seed, fresh.Scale, fresh.Seed)
+		return
+	}
+	warns := 0
+	warn := func(format string, args ...any) {
+		warns++
+		fmt.Printf("benchdiff: WARN: "+format+"\n", args...)
+	}
+	baseMillis := make(map[string]float64, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseMillis[e.ID] = e.Millis
+	}
+	for _, e := range fresh.Experiments {
+		if b := baseMillis[e.ID]; b > 1 && e.Millis > b*warnFactor {
+			warn("%s: %.1fms vs baseline %.1fms (%.2fx)", e.ID, e.Millis, b, e.Millis/b)
+		}
+	}
+	if b, f := base.TotalMillis, fresh.TotalMillis; b > 0 && f > b*warnFactor {
+		warn("total: %.0fms vs baseline %.0fms (%.2fx)", f, b, f/b)
+	}
+	if base.RepeatProbe != nil && fresh.RepeatProbe != nil {
+		if b, f := base.RepeatProbe.WarmMillis, fresh.RepeatProbe.WarmMillis; b > 0.05 && f > b*warnFactor {
+			warn("repeat-probe warm: %.3fms vs baseline %.3fms (%.2fx)", f, b, f/b)
+		}
+	}
+	if warns == 0 {
+		fmt.Println("benchdiff: schema ok, no timing regressions beyond the warn threshold")
+	} else {
+		fmt.Printf("benchdiff: schema ok, %d timing warning(s) — warn-only, not failing the build\n", warns)
+	}
+}

@@ -16,14 +16,17 @@
 //
 // # Concurrency model
 //
-// The probe hot path is parallel end to end. bayeslsh.Search keeps
-// candidate generation sequential (the inverted index grows row by row)
-// but shards candidate evaluation — the hash-comparison, prune, and
-// estimate loop — across a worker pool sized by bayeslsh.Params.Workers
-// (0 = runtime.GOMAXPROCS). Outcomes are merged back in generation order,
-// so a probe returns byte-identical pair sets and cost counters for any
-// worker count; only wall time changes. Both CLIs expose the knob as
-// -workers.
+// The probe hot path is parallel end to end. bayeslsh.NewCache sketches
+// the dataset across the same worker pool (signatures are byte-identical
+// for any worker count). bayeslsh.Search keeps candidate generation
+// sequential — it replays a persistent CSR candidate index built once on
+// the cache's first probe — but shards candidate evaluation, the
+// hash-comparison, prune, and estimate loop, across a worker pool sized by
+// bayeslsh.Params.Workers (0 = runtime.GOMAXPROCS). Outcomes are merged
+// back in generation order, so a probe returns byte-identical pair sets
+// and cost counters for any worker count; only wall time changes. Both
+// CLIs expose the knob as -workers. Repeat probes on a warm cache reuse
+// the index and a pooled probe scratch, allocating near-zero.
 //
 // What is safe to share: a bayeslsh.Cache (and therefore a core.Session)
 // may serve concurrent probes. The dataset sketches and decision tables

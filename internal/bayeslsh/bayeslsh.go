@@ -125,11 +125,23 @@ type Cache struct {
 	// for which Eq 2.1 still prunes; pruneMu guards it across probes.
 	pruneMu  sync.Mutex
 	pruneMax map[float64][]int32
+
+	// idx is the persistent candidate index (see candIndex), built lazily on
+	// the first probe — candidate generation is threshold-independent, so
+	// every later probe on this cache reuses it. Immutable once built.
+	idxOnce sync.Once
+	idx     *candIndex
+	// scratchPool recycles probe working sets (candidate/outcome batches,
+	// epoch marks) so repeat probes allocate near-zero.
+	scratchPool sync.Pool
 }
 
 // NewCache sketches the dataset and returns an empty knowledge cache.
 // Minhash signatures are built for Jaccard data, signed-random-projection
-// signatures for cosine data.
+// signatures for cosine data. Sketching — the one-time start-up cost of
+// Fig 2.9 — is parallelized across Params.Workers goroutines; each row's
+// signature is a pure function of (row, seed), so the signatures are
+// byte-identical for any worker count.
 func NewCache(ds *vec.Dataset, p Params, seed int64) *Cache {
 	c := &Cache{
 		Params:   p,
@@ -141,18 +153,19 @@ func NewCache(ds *vec.Dataset, p Params, seed int64) *Cache {
 		conc:     make([][]bool, p.schedulePoints()),
 	}
 	start := time.Now()
+	workers := p.WorkerCount()
 	if ds.Measure == vec.JaccardSim {
 		mh := lsh.NewMinHasher(p.MaxHashes, seed)
 		c.minSigs = make([][]uint32, ds.N())
-		for i, r := range ds.Rows {
-			c.minSigs[i] = mh.Sketch(r)
-		}
+		sketchRows(ds.N(), workers, func(i int) {
+			c.minSigs[i] = mh.Sketch(ds.Rows[i])
+		})
 	} else {
 		srp := lsh.NewSRP(p.MaxHashes, ds.Dim, seed)
 		c.srpSigs = make([][]uint64, ds.N())
-		for i, r := range ds.Rows {
-			c.srpSigs[i] = srp.Sketch(r)
-		}
+		sketchRows(ds.N(), workers, func(i int) {
+			c.srpSigs[i] = srp.Sketch(ds.Rows[i])
+		})
 	}
 	for k := range c.conc {
 		c.conc[k] = c.buildConcRow(k)
@@ -303,7 +316,7 @@ type Result struct {
 // the incremental-approximation experiments (Figs 2.6-2.8).
 type ProgressFunc func(rowsProcessed, totalRows, pairsAbove int)
 
-// candidate is one (j, i) pair (j < i) produced by the inverted index.
+// candidate is one (j, i) pair (j < i) produced by the candidate index.
 type candidate struct{ j, i int32 }
 
 // candOutcome is the evaluation result of one candidate, computed by a
@@ -410,16 +423,19 @@ func (c *Cache) evalBatch(ds *vec.Dataset, cands []candidate, outs []candOutcome
 }
 
 // Search runs an all-pairs similarity probe at threshold t, reusing and
-// extending the knowledge cache. Rows are processed in index order; the
-// inverted index grows incrementally so that after processing k rows all
-// pairs within the first k rows have been decided.
+// extending the knowledge cache. Rows are processed in index order, so that
+// after processing k rows all pairs within the first k rows have been
+// decided.
 //
-// Candidate generation stays sequential (the inverted index grows row by
-// row) but candidate evaluation — the hash-comparison hot path — is sharded
-// across Params.Workers goroutines in batches, then merged back in
-// generation order. Results are byte-identical for every worker count;
-// progress callbacks fire once per row, in order, after the batch covering
-// that row has been merged.
+// Candidate generation reads the cache's persistent candidate index (built
+// lazily on the first probe, reused forever after — the candidate set is
+// threshold-independent) and stays sequential, but candidate evaluation —
+// the hash-comparison hot path — is sharded across Params.Workers
+// goroutines in batches, then merged back in generation order. Results are
+// byte-identical for every worker count; progress callbacks fire once per
+// row, in order, after the batch covering that row has been merged. Batch
+// buffers and dedup marks come from a per-cache pool, so repeat probes on a
+// warm cache allocate near-zero.
 func Search(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc) (*Result, error) {
 	return SearchWorkers(ds, t, c, progress, 0)
 }
@@ -432,49 +448,28 @@ func SearchWorkers(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc, 
 	if ds.N() != c.N {
 		return nil, fmt.Errorf("bayeslsh: cache built for %d rows, dataset has %d", c.N, ds.N())
 	}
-	p := c.Params
 	start := time.Now()
 	res := &Result{Threshold: t}
 	bound := c.pruneBound(t)
 	if workers <= 0 {
-		workers = p.WorkerCount()
+		workers = c.Params.WorkerCount()
 	}
-
-	maxDF := int(p.MaxDFFrac * float64(ds.N()))
-	if maxDF < 2 {
-		maxDF = 2
-	}
-	// The stop-word cap is only sound for sparse data, where features past
-	// the cap carry negligible weight. On dense matrix-like data (every row
-	// touches most features) it would sever candidate generation entirely,
-	// so disable it there.
-	if float64(ds.Dim) <= 2*ds.AvgLen() {
-		maxDF = ds.N()
-	}
-	postings := make(map[int32][]int32, ds.Dim)
-	df := make(map[int32]int, ds.Dim)
-	mark := make([]int32, ds.N())
-	for i := range mark {
-		mark[i] = -1
-	}
+	idx := c.candidateIndex(ds)
+	sc := c.getScratch(ds.N())
+	defer c.putScratch(sc)
 
 	// Candidates are buffered with per-row boundaries and flushed in
 	// batches: evaluate in parallel, then merge sequentially so counters,
 	// emitted pairs, and progress calls are in generation order.
 	batchSize := 1024 * workers
-	type rowMark struct{ row, end int }
-	var (
-		cands []candidate
-		marks []rowMark
-		outs  []candOutcome
-	)
 	flush := func() {
-		if len(outs) < len(cands) {
-			outs = make([]candOutcome, len(cands))
+		if cap(sc.outs) < len(sc.cands) {
+			sc.outs = make([]candOutcome, len(sc.cands))
 		}
-		c.evalBatch(ds, cands, outs[:len(cands)], t, bound, workers)
+		outs := sc.outs[:len(sc.cands)]
+		c.evalBatch(ds, sc.cands, outs, t, bound, workers)
 		done := 0
-		for _, mk := range marks {
+		for _, mk := range sc.marks {
 			for ; done < mk.end; done++ {
 				oc := &outs[done]
 				if oc.cacheHit {
@@ -487,38 +482,20 @@ func SearchWorkers(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc, 
 					}
 				}
 				if oc.emit {
-					res.Pairs = append(res.Pairs, Pair{I: cands[done].j, J: cands[done].i, Est: oc.est})
+					res.Pairs = append(res.Pairs, Pair{I: sc.cands[done].j, J: sc.cands[done].i, Est: oc.est})
 				}
 			}
 			if progress != nil {
 				progress(mk.row+1, ds.N(), len(res.Pairs))
 			}
 		}
-		cands, marks = cands[:0], marks[:0]
+		sc.cands, sc.marks = sc.cands[:0], sc.marks[:0]
 	}
 
 	for i := 0; i < ds.N(); i++ {
-		row := ds.Rows[i]
-		for _, ix := range row.Indices {
-			if df[ix] > maxDF {
-				continue
-			}
-			for _, j := range postings[ix] {
-				if mark[j] != int32(i) {
-					mark[j] = int32(i)
-					cands = append(cands, candidate{j: j, i: int32(i)})
-				}
-			}
-		}
-		// Index row i for subsequent rows.
-		for _, ix := range row.Indices {
-			df[ix]++
-			if df[ix] <= maxDF {
-				postings[ix] = append(postings[ix], int32(i))
-			}
-		}
-		marks = append(marks, rowMark{row: i, end: len(cands)})
-		if len(cands) >= batchSize {
+		sc.cands = idx.appendRow(int32(i), ds.Rows[i].Indices, sc, sc.cands)
+		sc.marks = append(sc.marks, rowMark{row: i, end: len(sc.cands)})
+		if len(sc.cands) >= batchSize {
 			flush()
 		}
 	}

@@ -1,0 +1,197 @@
+package bayeslsh
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"plasmahd/internal/vec"
+)
+
+// candIndex is the persistent candidate-generation index of a knowledge
+// cache. The original engine rebuilt an inverted index (postings map, df
+// map, mark array) from scratch on every probe, even though the candidate
+// set is threshold-independent; on the repeat-probe workload of Fig 2.1 that
+// rebuild became the dominant per-probe cost once hash comparisons were
+// cached. The index is built once, lazily, on the first probe of a cache and
+// reused by every later probe.
+//
+// Layout is CSR: the postings for feature f are rows[offsets[f]:offsets[f+1]],
+// row ids in ascending order, truncated to maxDF+1 entries — the stop-word
+// cap plus the single extra entry the O(1) skip test needs. The full
+// per-feature document frequencies exist only while building; the truncated
+// posting lengths encode everything probes need.
+type candIndex struct {
+	offsets []int32
+	rows    []int32
+	maxDF   int32
+}
+
+// resolveMaxDF computes the stop-word document-frequency cap once per
+// dataset: features present in more than MaxDFFrac of rows are skipped
+// during candidate generation. The cap is only sound for sparse data, where
+// features past it carry negligible weight; on dense matrix-like data (every
+// row touches most features) it would sever candidate generation entirely,
+// so it is disabled there.
+func resolveMaxDF(ds *vec.Dataset, frac float64) int32 {
+	maxDF := int(frac * float64(ds.N()))
+	if maxDF < 2 {
+		maxDF = 2
+	}
+	if float64(ds.Dim) <= 2*ds.AvgLen() {
+		maxDF = ds.N()
+	}
+	return int32(maxDF)
+}
+
+// buildCandIndex constructs the CSR index for a dataset. The candidate set
+// it generates is bit-identical to the old per-probe incremental build: a
+// pair (j, i) is a candidate iff some shared feature f has j among its first
+// maxDF rows and at most maxDF rows before i carry f.
+func buildCandIndex(ds *vec.Dataset, frac float64) *candIndex {
+	maxDF := resolveMaxDF(ds, frac)
+	keep := maxDF + 1
+	df := make([]int32, ds.Dim)
+	for _, r := range ds.Rows {
+		for _, f := range r.Indices {
+			df[f]++
+		}
+	}
+	offsets := make([]int32, ds.Dim+1)
+	for f, d := range df {
+		if d > keep {
+			d = keep
+		}
+		offsets[f+1] = offsets[f] + d
+	}
+	rows := make([]int32, offsets[ds.Dim])
+	fill := make([]int32, ds.Dim)
+	for i, r := range ds.Rows {
+		for _, f := range r.Indices {
+			if off := offsets[f] + fill[f]; off < offsets[f+1] {
+				rows[off] = int32(i)
+				fill[f]++
+			}
+		}
+	}
+	return &candIndex{offsets: offsets, rows: rows, maxDF: maxDF}
+}
+
+// appendRow appends row i's candidate pairs (j, i), j < i, to cands in
+// generation order, deduplicated through the scratch epoch marks. The
+// per-feature scan replays the old incremental build exactly: only the first
+// maxDF rows of a feature were ever indexed, and a feature already carried
+// by more than maxDF earlier rows is stop-worded for row i — detectable in
+// O(1) because postings are ascending and truncated at maxDF+1 entries.
+func (ix *candIndex) appendRow(i int32, indices []int32, sc *probeScratch, cands []candidate) []candidate {
+	sc.gen++
+	gen := sc.gen
+	for _, f := range indices {
+		off, end := ix.offsets[f], ix.offsets[f+1]
+		if end-off > ix.maxDF {
+			if ix.rows[off+ix.maxDF] < i {
+				continue // stop-worded before row i was reached
+			}
+			end = off + ix.maxDF
+		}
+		for k := off; k < end; k++ {
+			j := ix.rows[k]
+			if j >= i {
+				break
+			}
+			if sc.seen[j] == gen {
+				continue
+			}
+			sc.seen[j] = gen
+			cands = append(cands, candidate{j: j, i: i})
+		}
+	}
+	return cands
+}
+
+// probeScratch is the reusable per-probe working set: candidate and outcome
+// batch buffers, per-row batch boundaries, and the dedup marks. Replacing
+// the old per-probe mark array (an O(N) allocation plus fill per probe) with
+// an epoch counter lets repeat probes on a warm cache run with near-zero
+// allocations: seen[j] == gen means "row j already emitted for the current
+// generating row", and bumping gen invalidates every mark at once.
+type probeScratch struct {
+	cands []candidate
+	marks []rowMark
+	outs  []candOutcome
+	seen  []int64
+	gen   int64
+}
+
+// rowMark records the candidate-buffer boundary of one generating row, so a
+// flushed batch can replay counters and progress callbacks in row order.
+type rowMark struct{ row, end int }
+
+// candidateIndex returns the cache's persistent candidate index, building it
+// on the first probe. Concurrent probes share one build.
+func (c *Cache) candidateIndex(ds *vec.Dataset) *candIndex {
+	c.idxOnce.Do(func() {
+		c.idx = buildCandIndex(ds, c.Params.MaxDFFrac)
+	})
+	return c.idx
+}
+
+// getScratch checks a probe working set out of the cache's pool, sized for
+// the dataset. Warm probes get the previous probe's buffers back.
+func (c *Cache) getScratch(n int) *probeScratch {
+	sc, _ := c.scratchPool.Get().(*probeScratch)
+	if sc == nil {
+		sc = &probeScratch{}
+	}
+	if len(sc.seen) < n {
+		sc.seen = make([]int64, n)
+		sc.gen = 0
+	}
+	return sc
+}
+
+// putScratch returns a working set to the pool, keeping the high-water-mark
+// buffers but dropping their contents.
+func (c *Cache) putScratch(sc *probeScratch) {
+	sc.cands = sc.cands[:0]
+	sc.marks = sc.marks[:0]
+	c.scratchPool.Put(sc)
+}
+
+// sketchRows runs f(0..n-1) across up to workers goroutines in fixed-size
+// chunks handed out by an atomic cursor. Every index is visited exactly
+// once and each f(i) writes only slot i, so the result is identical for any
+// worker count — the NewCache parallel-sketching contract.
+func sketchRows(n, workers int, f func(i int)) {
+	const chunk = 16
+	if workers > n/chunk {
+		workers = n / chunk
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					f(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -42,6 +42,11 @@ type Session struct {
 
 	mu     sync.Mutex // guards probes
 	probes []ProbeRecord
+
+	// cueMu guards the memoized CueSet LRU (see CueSet in cues.go).
+	cueMu    sync.Mutex
+	cues     map[cueKey]*cueEntry
+	cueOrder []cueKey
 }
 
 // ProbeRecord is one executed probe.
@@ -254,26 +259,20 @@ func FindKnee(curve []CurvePoint) float64 {
 	return bestAt
 }
 
-// ThresholdGraph materializes the similarity graph at threshold t from the
-// knowledge cache alone — no access to the source data D, as required for
-// the interactive cue loop of Fig 2.1. Pairs carry their MAP estimates;
-// pairs never examined contribute no edge.
+// ThresholdGraph returns the similarity graph at threshold t, materialized
+// from the knowledge cache alone — no access to the source data D, as
+// required for the interactive cue loop of Fig 2.1. Pairs carry their MAP
+// estimates; pairs never examined contribute no edge. The graph comes from
+// the memoized CueSet layer, so repeated same-threshold reads share one
+// materialization; treat it as read-only.
 func (s *Session) ThresholdGraph(t float64) *graph.Graph {
-	var edges [][2]int32
-	s.Cache.Pairs.Range(func(key uint64, ps bayeslsh.PairState) bool {
-		if s.Cache.Estimate(ps) >= t {
-			i, j := bayeslsh.UnpackKey(key)
-			edges = append(edges, [2]int32{i, j})
-		}
-		return true
-	})
-	return graph.FromEdges(s.DS.N(), edges)
+	return s.CueSet(t).Graph()
 }
 
 // TriangleCount estimates the number of triangles at threshold t from the
 // cache — the Fig 2.5a cue.
 func (s *Session) TriangleCount(t float64) int64 {
-	return s.ThresholdGraph(t).Triangles()
+	return s.CueSet(t).Triangles()
 }
 
 // TriangleHistogram returns the triangle vertex-cover histogram at
@@ -281,7 +280,7 @@ func (s *Session) TriangleCount(t float64) int64 {
 // binned. Since triangles track clusterability (§2.2.3), a heavy right tail
 // signals clusterable data.
 func (s *Session) TriangleHistogram(t float64, bins int) *stats.Histogram {
-	per := s.ThresholdGraph(t).TrianglesPerVertex()
+	per := s.CueSet(t).TrianglesPerVertex()
 	xs := make([]float64, len(per))
 	var hi float64
 	for i, c := range per {
@@ -295,11 +294,10 @@ func (s *Session) TriangleHistogram(t float64, bins int) *stats.Histogram {
 
 // DensityProfile returns the cohesive-subgraph density plot at threshold t
 // (Fig 2.5c): vertex core numbers sorted descending. Flat high plateaus
-// indicate potential cliques, the CSV-plot reading of §2.2.3.
+// indicate potential cliques, the CSV-plot reading of §2.2.3. The returned
+// slice is the caller's to modify (the memoized profile is copied).
 func (s *Session) DensityProfile(t float64) []int {
-	cores := s.ThresholdGraph(t).CoreNumbers()
-	sort.Sort(sort.Reverse(sort.IntSlice(cores)))
-	return cores
+	return append([]int(nil), s.CueSet(t).DensityProfile()...)
 }
 
 // SketchTime reports the initial sketch generation cost (Fig 2.9).

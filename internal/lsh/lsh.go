@@ -9,6 +9,7 @@ package lsh
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"plasmahd/internal/vec"
 )
@@ -81,22 +82,27 @@ type SRP struct {
 	Bits int
 	seed uint64
 	dim  int
-	// dirs caches per-dimension Gaussian rows lazily: dirs[d][i] is the
-	// d-th coordinate of direction i. float32 halves the footprint; the
-	// precision is irrelevant next to sampling noise.
-	dirs [][]float32
+	// dirs caches per-dimension Gaussian rows lazily: dirs[d] points at the
+	// row whose i-th entry is the d-th coordinate of direction i. float32
+	// halves the footprint; the precision is irrelevant next to sampling
+	// noise. The slots are atomic pointers so concurrent Sketch calls can
+	// populate the cache without a lock: the row content is a pure function
+	// of (seed, d), so racing fills compute identical bytes and the CAS
+	// merely picks one allocation as canonical.
+	dirs []atomic.Pointer[[]float32]
 }
 
 // NewSRP creates a deterministic signed-random-projection sketcher of the
-// given bit length over vectors of dimension dim.
+// given bit length over vectors of dimension dim. The returned sketcher is
+// safe for concurrent Sketch calls.
 func NewSRP(bits, dim int, seed int64) *SRP {
-	return &SRP{Bits: bits, seed: uint64(seed), dim: dim, dirs: make([][]float32, dim)}
+	return &SRP{Bits: bits, seed: uint64(seed), dim: dim, dirs: make([]atomic.Pointer[[]float32], dim)}
 }
 
 // gaussRow generates the cached Gaussian coordinates for dimension d.
 func (s *SRP) gaussRow(d int) []float32 {
-	if row := s.dirs[d]; row != nil {
-		return row
+	if p := s.dirs[d].Load(); p != nil {
+		return *p
 	}
 	row := make([]float32, s.Bits)
 	// Box-Muller on splitmix64 streams keyed by (seed, dim, bit pair).
@@ -112,8 +118,10 @@ func (s *SRP) gaussRow(d int) []float32 {
 			row[i+1] = float32(r * math.Sin(2*math.Pi*u2))
 		}
 	}
-	s.dirs[d] = row
-	return row
+	if s.dirs[d].CompareAndSwap(nil, &row) {
+		return row
+	}
+	return *s.dirs[d].Load()
 }
 
 // Sketch returns the bit-packed signature of v. Vectors sketched by the same

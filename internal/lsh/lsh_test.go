@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -96,6 +97,48 @@ func TestSRPSelfMatch(t *testing.T) {
 	sn := srp.Sketch(neg)
 	if MatchesPacked(s, sn, 256) != 0 {
 		t.Error("negated vector must fully mismatch")
+	}
+}
+
+// TestSRPConcurrentSketch hammers one SRP with concurrent Sketch calls over
+// overlapping dimensions — the parallel-sketching access pattern of
+// bayeslsh.NewCache. Run under -race this is the data-race check for the
+// lazily filled gaussian-row cache; the assertions pin that racing fills
+// still produce exactly the signatures a serial sketcher computes.
+func TestSRPConcurrentSketch(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const dim = 40
+	vecs := make([]vec.Sparse, 64)
+	for i := range vecs {
+		vecs[i] = denseRand(rng, dim)
+	}
+	ref := NewSRP(128, dim, 77)
+	want := make([][]uint64, len(vecs))
+	for i, v := range vecs {
+		want[i] = ref.Sketch(v)
+	}
+	shared := NewSRP(128, dim, 77)
+	got := make([][]uint64, len(vecs))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(vecs); i += 8 {
+				got[i] = shared.Sketch(vecs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range vecs {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("vector %d: signature length %d, want %d", i, len(got[i]), len(want[i]))
+		}
+		for k := range want[i] {
+			if got[i][k] != want[i][k] {
+				t.Fatalf("vector %d word %d: concurrent sketch differs from serial", i, k)
+			}
+		}
 	}
 }
 

@@ -9,7 +9,6 @@ import (
 	"math"
 	"net/http"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -17,7 +16,6 @@ import (
 	"plasmahd/internal/bayeslsh"
 	"plasmahd/internal/core"
 	"plasmahd/internal/dataset"
-	"plasmahd/internal/graph"
 	"plasmahd/internal/stats"
 	"plasmahd/internal/vec"
 )
@@ -144,22 +142,36 @@ func (s *Server) threshold(w http.ResponseWriter, r *http.Request) (float64, boo
 	return t, true
 }
 
-func queryInt(r *http.Request, key string, def int) int {
-	if raw := r.URL.Query().Get(key); raw != "" {
-		if v, err := strconv.Atoi(raw); err == nil {
-			return v
-		}
+// queryInt parses an optional integer query parameter, using def when the
+// parameter is absent. A present-but-unparseable (or overflowing) value is
+// a 400, written here — never a silent fallback to the default, which would
+// make `?steps=abc` quietly run with steps=14 while a malformed `t` gets a
+// 400.
+func (s *Server) queryInt(w http.ResponseWriter, r *http.Request, key string, def int) (int, bool) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, true
 	}
-	return def
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "%s must be an integer, got %q", key, raw)
+		return 0, false
+	}
+	return v, true
 }
 
-func queryFloat(r *http.Request, key string, def float64) float64 {
-	if raw := r.URL.Query().Get(key); raw != "" {
-		if v, err := strconv.ParseFloat(raw, 64); err == nil && !math.IsNaN(v) && !math.IsInf(v, 0) {
-			return v
-		}
+// queryFloat is queryInt for finite floats.
+func (s *Server) queryFloat(w http.ResponseWriter, r *http.Request, key string, def float64) (float64, bool) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, true
 	}
-	return def
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "%s must be a finite number, got %q", key, raw)
+		return 0, false
+	}
+	return v, true
 }
 
 // ---- wire types ----
@@ -586,18 +598,29 @@ func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCurve(w http.ResponseWriter, r *http.Request) {
+	// Parse before acquire: an invalid request must not busy-mark the
+	// session (or revive a spilled one) just to be told it is malformed.
+	lo, ok := s.queryFloat(w, r, "lo", 0.3)
+	if !ok {
+		return
+	}
+	hi, ok := s.queryFloat(w, r, "hi", 0.95)
+	if !ok {
+		return
+	}
+	steps, ok := s.queryInt(w, r, "steps", 14)
+	if !ok {
+		return
+	}
+	if steps < 1 || steps > 10000 || hi < lo {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "want lo <= hi and 1 <= steps <= 10000")
+		return
+	}
 	ms, release, ok := s.acquire(w, r)
 	if !ok {
 		return
 	}
 	defer release()
-	lo := queryFloat(r, "lo", 0.3)
-	hi := queryFloat(r, "hi", 0.95)
-	steps := queryInt(r, "steps", 14)
-	if steps < 1 || steps > 10000 || hi < lo {
-		s.writeError(w, http.StatusBadRequest, "bad_request", "want lo <= hi and 1 <= steps <= 10000")
-		return
-	}
 	// ThresholdGrid clamps steps to 2 when lo < hi, so a degenerate steps=1
 	// sweep still evaluates both endpoints instead of silently dropping hi.
 	grid := core.ThresholdGrid(lo, hi, steps)
@@ -615,19 +638,27 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	top, ok := s.queryInt(w, r, "top", 50)
+	if !ok {
+		return
+	}
 	ms, release, ok := s.acquire(w, r)
 	if !ok {
 		return
 	}
 	defer release()
-	// One graph materialization (a full cache scan) serves every field.
-	g := ms.Session.ThresholdGraph(t)
+	// The session's memoized cue layer serves every field: the threshold
+	// graph (a full pair-cache scan) is materialized at most once per cache
+	// state, shared with /cues and repeated same-threshold reads.
+	cs := ms.Session.CueSet(t)
+	g := cs.Graph()
 	resp := graphResponse{
 		SessionID:  ms.ID,
 		Threshold:  t,
 		Vertices:   g.N(),
 		Edges:      g.M(),
 		MeanDegree: g.MeanDegree(),
+		Components: cs.Components(),
 	}
 	for v := 0; v < g.N(); v++ {
 		if d := g.Degree(v); d > resp.MaxDegree {
@@ -636,23 +667,13 @@ func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 			resp.Isolated++
 		}
 	}
-	_, resp.Components = g.ConnectedComponents()
 	hist := make([]int, resp.MaxDegree+1)
 	for v := 0; v < g.N(); v++ {
 		hist[g.Degree(v)]++
 	}
 	resp.DegreeHistogram = hist
-	resp.DensityProfile = topK(densityProfile(g), queryInt(r, "top", 50))
+	resp.DensityProfile = topK(cs.DensityProfile(), top)
 	s.writeJSON(w, http.StatusOK, resp)
-}
-
-// densityProfile is Session.DensityProfile computed from an
-// already-materialized graph, so one request never rebuilds the threshold
-// graph (each build is a full pair-cache scan).
-func densityProfile(g *graph.Graph) []int {
-	cores := g.CoreNumbers()
-	sort.Sort(sort.Reverse(sort.IntSlice(cores)))
-	return cores
 }
 
 func (s *Server) handleCues(w http.ResponseWriter, r *http.Request) {
@@ -660,28 +681,34 @@ func (s *Server) handleCues(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	bins, ok := s.queryInt(w, r, "bins", 8)
+	if !ok {
+		return
+	}
+	top, ok := s.queryInt(w, r, "top", 50)
+	if !ok {
+		return
+	}
+	if bins < 1 || bins > 1000 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "bins must be in [1, 1000]")
+		return
+	}
 	ms, release, ok := s.acquire(w, r)
 	if !ok {
 		return
 	}
 	defer release()
-	bins := queryInt(r, "bins", 8)
-	if bins < 1 || bins > 1000 {
-		s.writeError(w, http.StatusBadRequest, "bad_request", "bins must be in [1, 1000]")
-		return
-	}
-	// Materialize the threshold graph once and derive every cue from it:
-	// triangle incidences give both the count (each triangle is incident on
-	// 3 vertices) and the Fig 2.5b histogram, cores give the Fig 2.5c
-	// profile. Only CurveAt scans the pair cache again, for the estimate.
-	g := ms.Session.ThresholdGraph(t)
-	per := g.TrianglesPerVertex()
+	// The memoized cue layer materializes the threshold graph and its
+	// triangle incidences at most once per cache state: the incidences give
+	// both the count (each triangle is incident on 3 vertices) and the
+	// Fig 2.5b histogram, the cores give the Fig 2.5c profile. Only CurveAt
+	// scans the pair cache again, for the estimate.
+	cs := ms.Session.CueSet(t)
+	per := cs.TrianglesPerVertex()
 	xs := make([]float64, len(per))
 	var hi float64
-	var incidences int64
 	for i, c := range per {
 		xs[i] = float64(c)
-		incidences += c
 		if xs[i] > hi {
 			hi = xs[i]
 		}
@@ -690,9 +717,9 @@ func (s *Server) handleCues(w http.ResponseWriter, r *http.Request) {
 	resp := cuesResponse{
 		SessionID:         ms.ID,
 		Threshold:         t,
-		Triangles:         incidences / 3,
+		Triangles:         cs.Triangles(),
 		TriangleHistogram: histogramJSON{Lo: h.Lo, Hi: h.Hi, Counts: h.Counts},
-		DensityProfile:    topK(densityProfile(g), queryInt(r, "top", 50)),
+		DensityProfile:    topK(cs.DensityProfile(), top),
 		CurveAt:           ms.Session.CurveAt(t).Estimate,
 	}
 	s.writeJSON(w, http.StatusOK, resp)
@@ -712,6 +739,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if len(req.Targets) > 256 {
 		s.writeError(w, http.StatusBadRequest, "bad_request", "at most 256 targets, got %d", len(req.Targets))
 		return
+	}
+	// Every target is a similarity: values outside [-1, 1] can never match
+	// any pair, so an out-of-range target is a client error, mirroring the
+	// threshold check above.
+	for _, tgt := range req.Targets {
+		if tgt < -1 || tgt > 1 {
+			s.writeError(w, http.StatusBadRequest, "bad_request", "targets must be in [-1, 1], got %v", tgt)
+			return
+		}
 	}
 	if req.Snapshots > 1000 {
 		s.writeError(w, http.StatusBadRequest, "bad_request", "at most 1000 snapshots, got %d", req.Snapshots)
@@ -793,15 +829,75 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	var buf bytes.Buffer
-	if err := ms.Session.Snapshot(&buf); err != nil {
-		s.writeError(w, http.StatusInternalServerError, "internal", "snapshot failed: %v", err)
-		return
+	// Stream the snapshot straight to the client instead of staging it in a
+	// buffer: the old path double-held up to a full session in memory per
+	// request (the session plus its serialized bytes), which is exactly the
+	// footprint the streaming restore path of the opposite direction was
+	// built to avoid. A small holdback keeps early failures clean: the
+	// codec's fallible header work (spec marshalling, string caps) all
+	// happens within the first few hundred bytes, and the encoder writes
+	// its magic before anything fallible — so without the holdback, no
+	// failure could ever be reported as an error envelope.
+	hw := &holdbackWriter{w: w}
+	if err := ms.Session.Snapshot(hw); err != nil {
+		if !hw.committed {
+			// Nothing on the wire yet: a clean error envelope is possible.
+			s.writeError(w, http.StatusInternalServerError, "internal", "snapshot failed: %v", err)
+			return
+		}
+		// Mid-stream failure: bytes are already on the wire. Abort the
+		// connection so the client sees a truncated (CRC-failing) stream,
+		// never a clean EOF on a silently short snapshot.
+		panic(http.ErrAbortHandler)
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(buf.Bytes())
+	if err := hw.flush(); err != nil {
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// snapshotHoldback is how much of a streamed snapshot is withheld before
+// the response is committed. It needs to cover the codec's fallible header
+// section (magic, spec blob, probe metadata); everything after that can
+// only fail on writer errors.
+const snapshotHoldback = 4096
+
+// holdbackWriter buffers the first snapshotHoldback bytes and passes
+// everything after them straight through. Headers (and the implicit 200)
+// are only committed once the buffer overflows or flush is called, so a
+// failure inside the codec's header work can still become a JSON 500.
+type holdbackWriter struct {
+	w         http.ResponseWriter
+	head      []byte
+	committed bool
+}
+
+func (hw *holdbackWriter) commit() error {
+	hw.w.Header().Set("Content-Type", "application/octet-stream")
+	hw.committed = true
+	_, err := hw.w.Write(hw.head)
+	hw.head = nil
+	return err
+}
+
+func (hw *holdbackWriter) Write(p []byte) (int, error) {
+	if !hw.committed {
+		if len(hw.head)+len(p) <= snapshotHoldback {
+			hw.head = append(hw.head, p...)
+			return len(p), nil
+		}
+		if err := hw.commit(); err != nil {
+			return 0, err
+		}
+	}
+	return hw.w.Write(p)
+}
+
+// flush commits a snapshot that fit entirely inside the holdback.
+func (hw *holdbackWriter) flush() error {
+	if hw.committed {
+		return nil
+	}
+	return hw.commit()
 }
 
 // maxBytesTracker passes reads through while remembering whether the

@@ -37,6 +37,15 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.mgr.stats.Errors.Add(1)
+				if rec == http.ErrAbortHandler {
+					// A handler that already committed a non-JSON stream
+					// aborts on purpose (e.g. a mid-stream snapshot encode
+					// failure): propagate so net/http tears the connection
+					// down instead of appending a JSON envelope to a
+					// partial binary body.
+					s.logf("%s %s -> aborted (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+					panic(rec)
+				}
 				// The handler may have written nothing yet; best-effort
 				// envelope (WriteHeader after a partial body is a no-op).
 				s.writeJSON(sw, http.StatusInternalServerError,

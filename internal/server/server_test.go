@@ -370,8 +370,29 @@ func TestErrorPaths(t *testing.T) {
 	if st := call(t, "GET", ts.URL+"/v1/sessions/"+id+"/cues?t=NaN", nil, &env); st != 400 || env.Error.Code != "bad_request" {
 		t.Errorf("cues with t=NaN: want 400/bad_request, got %d/%s", st, env.Error.Code)
 	}
-	if st := call(t, "GET", ts.URL+"/v1/sessions/"+id+"/curve?lo=NaN&hi=0.9&steps=5", nil, &env); st != 200 {
-		t.Errorf("curve with lo=NaN should fall back to the default lo and succeed, got %d", st)
+	// Malformed optional query parameters are a client error, never a silent
+	// fallback to the default (a `?steps=abc` typo must not quietly run with
+	// steps=14 while a bad `t` gets a 400).
+	for _, q := range []string{"lo=NaN", "lo=abc", "hi=Inf", "steps=abc", "steps=1e9", "steps=99999999999999999999"} {
+		if st := call(t, "GET", ts.URL+"/v1/sessions/"+id+"/curve?"+q, nil, &env); st != 400 || env.Error.Code != "bad_request" {
+			t.Errorf("curve with %s: want 400/bad_request, got %d/%s", q, st, env.Error.Code)
+		}
+	}
+	if st := call(t, "GET", ts.URL+"/v1/sessions/"+id+"/cues?t=0.5&bins=zero", nil, &env); st != 400 || env.Error.Code != "bad_request" {
+		t.Errorf("cues with bins=zero: want 400/bad_request, got %d/%s", st, env.Error.Code)
+	}
+	if st := call(t, "GET", ts.URL+"/v1/sessions/"+id+"/graph?t=0.5&top=ten", nil, &env); st != 400 || env.Error.Code != "bad_request" {
+		t.Errorf("graph with top=ten: want 400/bad_request, got %d/%s", st, env.Error.Code)
+	}
+	// Absent optional parameters still take their defaults.
+	if st := call(t, "GET", ts.URL+"/v1/sessions/"+id+"/curve", nil, nil); st != 200 {
+		t.Errorf("curve with no params: want 200, got %d", st)
+	}
+	// Out-of-range sweep targets can never match any similarity.
+	var tgt errorEnvelope
+	if st := call(t, "POST", ts.URL+"/v1/sessions/"+id+"/sweep",
+		map[string]any{"threshold": 0.5, "targets": []float64{7.5, -40}}, &tgt); st != 400 || tgt.Error.Code != "bad_request" {
+		t.Errorf("sweep with out-of-range targets: want 400/bad_request, got %d/%s", st, tgt.Error.Code)
 	}
 	var sw errorEnvelope
 	big := make([]float64, 300)

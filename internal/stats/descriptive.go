@@ -80,8 +80,14 @@ type Histogram struct {
 }
 
 // NewHistogram bins xs into n equal-width bins over [lo, hi]. Values outside
-// the range are clamped into the end bins.
+// the range are clamped into the end bins. A non-positive bin count yields
+// an empty histogram instead of panicking — handler-side validation is the
+// polite gate, but the library must not turn a crafted request into a
+// `make([]int, n<0)` crash.
 func NewHistogram(xs []float64, n int, lo, hi float64) *Histogram {
+	if n < 0 {
+		n = 0
+	}
 	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
 	if hi <= lo || n == 0 {
 		return h

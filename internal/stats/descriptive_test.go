@@ -45,6 +45,28 @@ func TestHistogram(t *testing.T) {
 	approx(t, h.BinCenter(0), 0.05, 1e-12, "bin center")
 }
 
+// TestHistogramDegenerateBins pins the defensive clamps: a negative bin
+// count must yield an empty histogram, not a make([]int, n<0) panic — only
+// handler-side validation stands between a crafted request and that crash.
+func TestHistogramDegenerateBins(t *testing.T) {
+	for _, n := range []int{-1, -1000, 0} {
+		h := NewHistogram([]float64{1, 2, 3}, n, 0, 10)
+		if len(h.Counts) != 0 {
+			t.Errorf("n=%d: %d bins, want 0", n, len(h.Counts))
+		}
+		if h.Total() != 0 {
+			t.Errorf("n=%d: total %d, want 0", n, h.Total())
+		}
+	}
+	// Inverted and zero-width ranges stay empty too.
+	if h := NewHistogram([]float64{1}, 4, 5, 5); h.Total() != 0 {
+		t.Error("zero-width range must bin nothing")
+	}
+	if h := NewHistogram([]float64{1}, 4, 9, 5); h.Total() != 0 {
+		t.Error("inverted range must bin nothing")
+	}
+}
+
 func TestMeanRelativeError(t *testing.T) {
 	approx(t, MeanRelativeError([]float64{110, 90}, []float64{100, 100}), 0.1, 1e-12, "mre")
 	approx(t, MeanRelativeError([]float64{1}, []float64{0}), 0, 0, "zero actual skipped")
