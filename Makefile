@@ -22,10 +22,11 @@ test:
 short:
 	$(GO) test -short ./...
 
-# race covers the concurrent probe engine, the session layer, and the
-# multi-tenant HTTP server — the packages with shared mutable state.
+# race covers the concurrent probe engine, the session layer, the
+# multi-tenant HTTP server, and the metrics registry — the packages with
+# shared mutable state.
 race:
-	$(GO) test -race ./internal/bayeslsh ./internal/core ./internal/server
+	$(GO) test -race ./internal/bayeslsh ./internal/core ./internal/server ./internal/metrics
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

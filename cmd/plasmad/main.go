@@ -11,6 +11,12 @@
 //	plasmad -addr 127.0.0.1:0        # random port, printed on startup
 //	plasmad -state-dir /var/lib/plasmad   # durable caches: warm starts,
 //	                                      # eviction spill-to-disk, shutdown save
+//	plasmad -rate-limit 50 -max-inflight 256   # per-session + global load shedding
+//	plasmad -pprof                        # Go profiler under /debug/pprof/
+//
+// Prometheus metrics are always served on GET /metrics; -shutdown-timeout
+// bounds how long a SIGTERM may spend draining requests and saving session
+// state before the daemon gives up and reports what was lost.
 //
 // Quick tour (see docs/API.md for the full wire format):
 //
@@ -38,14 +44,19 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 = random)")
-		capacity = flag.Int("capacity", 16, "max resident sessions before LRU eviction of idle ones")
-		workers  = flag.Int("workers", 0, "default probe-engine workers per session (0 = all cores)")
-		timeout  = flag.Duration("timeout", 60*time.Second, "per-request deadline")
-		maxBody  = flag.Int64("max-body", 32<<20, "request-body size cap in bytes")
-		maxSnap  = flag.Int64("max-snapshot", 1<<30, "body cap for snapshot restore uploads in bytes")
-		stateDir = flag.String("state-dir", "", "directory for durable session snapshots: save on shutdown, warm start on boot, spill on eviction")
-		quiet    = flag.Bool("quiet", false, "suppress the request log")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 = random)")
+		capacity    = flag.Int("capacity", 16, "max resident sessions before LRU eviction of idle ones")
+		workers     = flag.Int("workers", 0, "default probe-engine workers per session (0 = all cores)")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request deadline")
+		maxBody     = flag.Int64("max-body", 32<<20, "request-body size cap in bytes")
+		maxSnap     = flag.Int64("max-snapshot", 1<<30, "body cap for snapshot restore uploads in bytes")
+		stateDir    = flag.String("state-dir", "", "directory for durable session snapshots: save on shutdown, warm start on boot, spill on eviction")
+		shutdownTO  = flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown budget: drain in-flight requests and save sessions to the state dir")
+		rateLimit   = flag.Float64("rate-limit", 0, "per-session request rate limit in requests/second on session-scoped routes (0 = unlimited)")
+		rateBurst   = flag.Int("rate-burst", 0, "per-session token-bucket burst (default 2x -rate-limit)")
+		maxInflight = flag.Int("max-inflight", 0, "global cap on concurrently served requests, 429 above it (0 = unlimited)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
+		quiet       = flag.Bool("quiet", false, "suppress the request log")
 	)
 	flag.Parse()
 
@@ -61,6 +72,11 @@ func main() {
 		MaxBodyBytes:     *maxBody,
 		MaxSnapshotBytes: *maxSnap,
 		StateDir:         *stateDir,
+		ShutdownTimeout:  *shutdownTO,
+		RateLimit:        *rateLimit,
+		RateBurst:        *rateBurst,
+		MaxInflight:      *maxInflight,
+		EnablePprof:      *pprofOn,
 		Logger:           logger,
 	})
 

@@ -103,6 +103,7 @@ func (s *Session) CueSet(t float64) *CueSet {
 	}
 	e, ok := s.cues[key]
 	if ok {
+		s.cueHits.Add(1)
 		// LRU touch: move the key to the back of the eviction order.
 		for i, k := range s.cueOrder {
 			if k == key {
@@ -111,6 +112,7 @@ func (s *Session) CueSet(t float64) *CueSet {
 			}
 		}
 	} else {
+		s.cueMisses.Add(1)
 		e = &cueEntry{}
 		s.cues[key] = e
 		s.cueOrder = append(s.cueOrder, key)

@@ -47,6 +47,18 @@ type Session struct {
 	cueMu    sync.Mutex
 	cues     map[cueKey]*cueEntry
 	cueOrder []cueKey
+
+	// cueHits/cueMisses count CueSet lookups served from the LRU vs paid
+	// with a threshold-graph materialization — the cache-effectiveness
+	// signal surfaced on plasmad's /metrics.
+	cueHits   atomic.Int64
+	cueMisses atomic.Int64
+}
+
+// CueCacheStats reports how many CueSet lookups hit the memoized LRU and
+// how many had to materialize a threshold graph.
+func (s *Session) CueCacheStats() (hits, misses int64) {
+	return s.cueHits.Load(), s.cueMisses.Load()
 }
 
 // ProbeRecord is one executed probe.

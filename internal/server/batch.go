@@ -1,0 +1,135 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxBatchThresholds caps one batch request; mirrors the sweep target cap.
+const maxBatchThresholds = 256
+
+// batchProbeRequest runs several probes in one round trip: one HTTP
+// request, one session acquire, one pass through the per-session
+// singleflight table per threshold — the cheap way to fill a curve that
+// would otherwise cost N sequential requests (and N rate-limit tokens).
+type batchProbeRequest struct {
+	Thresholds   []float64 `json:"thresholds"`
+	Workers      int       `json:"workers,omitempty"`
+	IncludePairs bool      `json:"includePairs,omitempty"`
+	MaxPairs     int       `json:"maxPairs,omitempty"` // cap on returned pairs per threshold; 0 = all
+}
+
+// batchProbeResult is one threshold's outcome: exactly the single-probe
+// response shape on success (byte-identical to what POST .../probe would
+// have returned, pinned by test) or an error body on failure.
+type batchProbeResult struct {
+	probeResponse
+	Error *errorBody `json:"error,omitempty"`
+}
+
+type batchProbeResponse struct {
+	SessionID string             `json:"sessionId"`
+	Results   []batchProbeResult `json:"results"`
+	Failed    int                `json:"failed"`
+}
+
+// handleBatchProbe evaluates every requested threshold sequentially, in
+// request order, against the shared knowledge cache. Sequential matters:
+// it makes the batch deterministic — identical, threshold for threshold,
+// to issuing the same probes one by one — while still sharing each probe's
+// evidence with every later one. Per-threshold failures land in that
+// threshold's slot; the batch itself still returns 200 with the rest.
+func (s *Server) handleBatchProbe(w http.ResponseWriter, r *http.Request) {
+	var req batchProbeRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Thresholds) == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "thresholds must not be empty")
+		return
+	}
+	if len(req.Thresholds) > maxBatchThresholds {
+		s.writeError(w, http.StatusBadRequest, "bad_request",
+			"at most %d thresholds per batch, got %d", maxBatchThresholds, len(req.Thresholds))
+		return
+	}
+	for _, t := range req.Thresholds {
+		if t < -1 || t > 1 {
+			s.writeError(w, http.StatusBadRequest, "bad_request", "thresholds must be in [-1, 1], got %v", t)
+			return
+		}
+	}
+	ms, release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	// Same detachment as handleProbe: the batch keeps the session busy
+	// until it finishes even if this request times out first, and a panic
+	// in the detached goroutine must become an error, not a process crash.
+	ch := make(chan batchProbeResponse, 1)
+	go func() {
+		defer release()
+		resp := batchProbeResponse{SessionID: ms.ID, Results: make([]batchProbeResult, 0, len(req.Thresholds))}
+		defer func() {
+			if rec := recover(); rec != nil {
+				// Thresholds not reached land as errors so the envelope
+				// always carries one slot per requested threshold.
+				for i := len(resp.Results); i < len(req.Thresholds); i++ {
+					resp.Results = append(resp.Results, batchProbeResult{
+						probeResponse: probeResponse{SessionID: ms.ID, Threshold: req.Thresholds[i]},
+						Error:         &errorBody{Code: "internal", Message: fmt.Sprintf("probe panicked: %v", rec)},
+					})
+					resp.Failed++
+				}
+				ch <- resp
+			}
+		}()
+		for _, t := range req.Thresholds {
+			res, coalesced, err := ms.Probe(t, req.Workers, &s.mgr.stats)
+			if err != nil {
+				resp.Results = append(resp.Results, batchProbeResult{
+					probeResponse: probeResponse{SessionID: ms.ID, Threshold: t},
+					Error:         &errorBody{Code: "internal", Message: fmt.Sprintf("probe failed: %v", err)},
+				})
+				resp.Failed++
+				continue
+			}
+			item := batchProbeResult{probeResponse: probeResponse{
+				SessionID:      ms.ID,
+				Threshold:      t,
+				PairCount:      len(res.Pairs),
+				Candidates:     res.Candidates,
+				Pruned:         res.Pruned,
+				CacheHits:      res.CacheHits,
+				HashesCompared: res.HashesCompared,
+				ProcessMillis:  float64(res.ProcessTime) / float64(time.Millisecond),
+				Coalesced:      coalesced,
+			}}
+			if req.IncludePairs {
+				pairs := res.Pairs
+				if req.MaxPairs > 0 && len(pairs) > req.MaxPairs {
+					pairs = pairs[:req.MaxPairs]
+				}
+				item.Pairs = make([]pairJSON, len(pairs))
+				for i, p := range pairs {
+					item.Pairs[i] = pairJSON{I: p.I, J: p.J, Est: p.Est}
+				}
+			}
+			resp.Results = append(resp.Results, item)
+		}
+		ch <- resp
+	}()
+	select {
+	case <-r.Context().Done():
+		s.writeError(w, http.StatusServiceUnavailable, "timeout",
+			"batch of %d probes still running; its evidence will land in the session cache", len(req.Thresholds))
+		return
+	case resp := <-ch:
+		s.probeBatches.Inc()
+		if resp.Failed > 0 {
+			s.mgr.stats.Errors.Add(int64(resp.Failed))
+		}
+		s.writeJSON(w, http.StatusOK, resp)
+	}
+}

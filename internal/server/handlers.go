@@ -33,6 +33,7 @@ type Route struct {
 func (s *Server) Routes() []Route {
 	return []Route{
 		{"GET", "/healthz", "liveness check", s.handleHealthz},
+		{"GET", "/metrics", "Prometheus text exposition of the metrics registry", s.handleMetrics},
 		{"GET", "/v1/stats", "manager and process statistics", s.handleStats},
 		{"GET", "/v1/datasets", "built-in dataset generators by kind", s.handleDatasets},
 		{"POST", "/v1/sessions", "create a session from a named generator or uploaded data", s.handleCreateSession},
@@ -40,6 +41,7 @@ func (s *Server) Routes() []Route {
 		{"GET", "/v1/sessions/{id}", "one session's summary", s.handleGetSession},
 		{"DELETE", "/v1/sessions/{id}", "delete a session", s.handleDeleteSession},
 		{"POST", "/v1/sessions/{id}/probe", "run (or join) a probe at a threshold", s.handleProbe},
+		{"POST", "/v1/sessions/{id}/probes", "run a batch of probes at several thresholds in one round trip", s.handleBatchProbe},
 		{"POST", "/v1/sessions/{id}/snapshot", "serialize the session's knowledge cache to a binary snapshot", s.handleSnapshot},
 		{"POST", "/v1/sessions/restore", "recreate a session from an uploaded binary snapshot", s.handleRestore},
 		{"GET", "/v1/sessions/{id}/curve", "cumulative APSS curve over a threshold grid, with knee", s.handleCurve},
@@ -371,6 +373,20 @@ type statsResponse struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the Prometheus text exposition. The whole scrape is
+// rendered into one buffer and written in a single call, so a concurrent
+// scrape never sees a torn exposition even under heavy probe traffic.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.mgr.Registry().WritePrometheus(&buf); err != nil {
+		s.writeError(w, http.StatusInternalServerError, "internal", "metrics render failed: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -713,6 +729,14 @@ func (s *Server) handleCues(w http.ResponseWriter, r *http.Request) {
 			hi = xs[i]
 		}
 	}
+	// A graph with no triangles (hi == 0, e.g. no pairs cleared the
+	// threshold) has a single meaningful bucket [0, 1). Without the clamp
+	// the response would report the requested bin count with every vertex
+	// in bucket 0 and bins-1 phantom empty buckets after it — a histogram
+	// shape that lies about the data's spread.
+	if hi == 0 {
+		bins = 1
+	}
 	h := stats.NewHistogram(xs, bins, 0, hi+1)
 	resp := cuesResponse{
 		SessionID:         ms.ID,
@@ -822,6 +846,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, http.StatusInternalServerError, "internal", "snapshot failed: %v", err)
 			return
 		}
+		s.snapBytesOut.Add(int64(n))
 		s.writeJSON(w, http.StatusOK, map[string]any{
 			"sessionId": ms.ID,
 			"path":      s.statePath(ms.ID),
@@ -853,6 +878,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if err := hw.flush(); err != nil {
 		panic(http.ErrAbortHandler)
 	}
+	s.snapBytesOut.Add(hw.written)
 }
 
 // snapshotHoldback is how much of a streamed snapshot is withheld before
@@ -869,6 +895,7 @@ type holdbackWriter struct {
 	w         http.ResponseWriter
 	head      []byte
 	committed bool
+	written   int64 // total snapshot bytes accepted, committed or held back
 }
 
 func (hw *holdbackWriter) commit() error {
@@ -880,6 +907,7 @@ func (hw *holdbackWriter) commit() error {
 }
 
 func (hw *holdbackWriter) Write(p []byte) (int, error) {
+	hw.written += int64(len(p))
 	if !hw.committed {
 		if len(hw.head)+len(p) <= snapshotHoldback {
 			hw.head = append(hw.head, p...)
@@ -906,11 +934,13 @@ func (hw *holdbackWriter) flush() error {
 // oversized upload would be indistinguishable from a truncated one.
 type maxBytesTracker struct {
 	r      io.Reader
+	n      int64 // bytes read so far
 	tooBig *http.MaxBytesError
 }
 
 func (t *maxBytesTracker) Read(p []byte) (int, error) {
 	n, err := t.r.Read(p)
+	t.n += int64(n)
 	var mbe *http.MaxBytesError
 	if errors.As(err, &mbe) {
 		t.tooBig = mbe
@@ -927,6 +957,7 @@ func (t *maxBytesTracker) Read(p []byte) (int, error) {
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	body := &maxBytesTracker{r: r.Body}
 	sess, err := core.RestoreSession(body, nil)
+	s.snapBytesIn.Add(body.n)
 	if err != nil {
 		if body.tooBig != nil {
 			s.writeError(w, http.StatusRequestEntityTooLarge, "too_large",

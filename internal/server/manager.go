@@ -11,6 +11,7 @@ import (
 	"plasmahd/internal/bayeslsh"
 	"plasmahd/internal/core"
 	"plasmahd/internal/dataset"
+	"plasmahd/internal/metrics"
 	"plasmahd/internal/vec"
 )
 
@@ -36,6 +37,14 @@ type Manager struct {
 	capacity int
 	nextID   atomic.Int64
 	stats    Stats
+	reg      *metrics.Registry
+
+	// retiredCueHits/Misses accumulate the cue-cache counters of sessions
+	// that left the manager (eviction, DELETE), so the manager-wide cue
+	// totals stay monotone across session churn: live sessions are summed
+	// at read time, departed ones are folded in here first.
+	retiredCueHits   atomic.Int64
+	retiredCueMisses atomic.Int64
 
 	// spill, when set, receives each session evicted for capacity before it
 	// is dropped, so its knowledge cache can be written to disk instead of
@@ -57,26 +66,75 @@ func (m *Manager) SetSpill(f func(*ManagedSession) error) {
 }
 
 // NewManager returns an empty manager admitting up to capacity resident
-// sessions (minimum 1).
+// sessions (minimum 1). The manager owns the process's metrics registry:
+// its counter block is registered there at construction, so the JSON stats
+// view and the Prometheus exposition read the same atomics.
 func NewManager(capacity int) *Manager {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Manager{capacity: capacity, sessions: make(map[string]*ManagedSession)}
+	m := &Manager{capacity: capacity, sessions: make(map[string]*ManagedSession), reg: metrics.NewRegistry()}
+	m.stats = Stats{
+		SessionsCreated:  m.reg.Counter("plasmad_sessions_created_total", "Sessions created via POST /v1/sessions."),
+		SessionsEvicted:  m.reg.Counter("plasmad_sessions_evicted_total", "Sessions evicted by the capacity LRU."),
+		SessionsDeleted:  m.reg.Counter("plasmad_sessions_deleted_total", "Sessions removed by explicit DELETE."),
+		SessionsSpilled:  m.reg.Counter("plasmad_sessions_spilled_total", "Evictions persisted to the state dir instead of discarded."),
+		SessionsRestored: m.reg.Counter("plasmad_sessions_restored_total", "Sessions rebuilt from snapshots (warm boot, revival, restore API)."),
+		Probes:           m.reg.Counter("plasmad_probes_total", "Probes executed by the engine (batch members included)."),
+		ProbesCoalesced:  m.reg.Counter("plasmad_probes_coalesced_total", "Probe requests that joined an in-flight identical probe."),
+		Requests:         m.reg.Counter("plasmad_http_requests_started_total", "HTTP requests received, before routing."),
+		Errors:           m.reg.Counter("plasmad_request_errors_total", "Error responses: every error envelope written, plus recovered panics."),
+	}
+	m.reg.GaugeFunc("plasmad_sessions_resident", "Sessions currently resident in memory.",
+		func() float64 { return float64(m.Len()) })
+	m.reg.GaugeFunc("plasmad_sessions_capacity", "Configured resident-session capacity.",
+		func() float64 { return float64(capacity) })
+	m.reg.CounterFunc("plasmad_cue_cache_hits_total", "CueSet lookups served from the per-session memoized LRU.",
+		func() int64 { h, _ := m.CueCacheStats(); return h })
+	m.reg.CounterFunc("plasmad_cue_cache_misses_total", "CueSet lookups that materialized a threshold graph.",
+		func() int64 { _, mi := m.CueCacheStats(); return mi })
+	return m
 }
 
-// Stats is the manager's atomic counter block, read without locks by
-// GET /v1/stats while requests are in flight.
+// Registry returns the manager's metrics registry, so the HTTP layer can
+// register its own request metrics alongside the session counters.
+func (m *Manager) Registry() *metrics.Registry { return m.reg }
+
+// CueCacheStats sums the cue-LRU hit/miss counters over resident sessions
+// plus the retired accumulator, so the totals are monotone across eviction
+// and deletion.
+func (m *Manager) CueCacheStats() (hits, misses int64) {
+	m.mu.Lock()
+	for _, ms := range m.sessions {
+		h, mi := ms.Session.CueCacheStats()
+		hits += h
+		misses += mi
+	}
+	m.mu.Unlock()
+	return hits + m.retiredCueHits.Load(), misses + m.retiredCueMisses.Load()
+}
+
+// retire folds a departing session's cue counters into the retired
+// accumulator (see CueCacheStats).
+func (m *Manager) retire(ms *ManagedSession) {
+	h, mi := ms.Session.CueCacheStats()
+	m.retiredCueHits.Add(h)
+	m.retiredCueMisses.Add(mi)
+}
+
+// Stats is the manager's counter block: handles into the metrics registry,
+// read without locks by GET /v1/stats and /metrics while requests are in
+// flight.
 type Stats struct {
-	SessionsCreated  atomic.Int64
-	SessionsEvicted  atomic.Int64
-	SessionsDeleted  atomic.Int64
-	SessionsSpilled  atomic.Int64 // evictions that went to disk, not oblivion
-	SessionsRestored atomic.Int64 // sessions rebuilt from snapshots (boot, revive, restore API)
-	Probes           atomic.Int64
-	ProbesCoalesced  atomic.Int64
-	Requests         atomic.Int64
-	Errors           atomic.Int64
+	SessionsCreated  *metrics.Counter
+	SessionsEvicted  *metrics.Counter
+	SessionsDeleted  *metrics.Counter
+	SessionsSpilled  *metrics.Counter // evictions that went to disk, not oblivion
+	SessionsRestored *metrics.Counter // sessions rebuilt from snapshots (boot, revive, restore API)
+	Probes           *metrics.Counter
+	ProbesCoalesced  *metrics.Counter
+	Requests         *metrics.Counter
+	Errors           *metrics.Counter
 }
 
 // StatsSnapshot is the JSON form of the counter block.
@@ -92,6 +150,8 @@ type StatsSnapshot struct {
 	ProbesCoalesced  int64 `json:"probesCoalesced"`
 	Requests         int64 `json:"requests"`
 	Errors           int64 `json:"errors"`
+	CueCacheHits     int64 `json:"cueCacheHits"`
+	CueCacheMisses   int64 `json:"cueCacheMisses"`
 }
 
 // Snapshot reads the counters.
@@ -99,7 +159,10 @@ func (m *Manager) Snapshot() StatsSnapshot {
 	m.mu.Lock()
 	n := len(m.sessions)
 	m.mu.Unlock()
+	cueHits, cueMisses := m.CueCacheStats()
 	return StatsSnapshot{
+		CueCacheHits:   cueHits,
+		CueCacheMisses: cueMisses,
 		Sessions:         n,
 		Capacity:         m.capacity,
 		SessionsCreated:  m.stats.SessionsCreated.Load(),
@@ -272,6 +335,7 @@ func (m *Manager) admit(ms *ManagedSession) error {
 		}
 		delete(m.sessions, victim.ID)
 		m.stats.SessionsEvicted.Add(1)
+		m.retire(victim)
 		victims = append(victims, victim)
 	}
 	m.sessions[ms.ID] = ms
@@ -323,12 +387,13 @@ func (m *Manager) Acquire(id string) (*ManagedSession, func(), error) {
 // Remove deletes a session by ID (explicit DELETE, not eviction).
 func (m *Manager) Remove(id string) error {
 	m.mu.Lock()
-	_, ok := m.sessions[id]
+	ms, ok := m.sessions[id]
 	delete(m.sessions, id)
 	m.mu.Unlock()
 	if !ok {
 		return ErrNotFound
 	}
+	m.retire(ms)
 	m.stats.SessionsDeleted.Add(1)
 	return nil
 }

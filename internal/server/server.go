@@ -18,9 +18,16 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"plasmahd/internal/metrics"
 )
 
 // Config holds the daemon's knobs; zero values get production-shaped
@@ -40,7 +47,28 @@ type Config struct {
 	// saved there on graceful shutdown, loaded on boot (warm start), spilled
 	// there on capacity eviction, and revived from there on demand.
 	StateDir string
-	Logger   *log.Logger // request log (nil = silent)
+	// ShutdownTimeout bounds the whole graceful-shutdown sequence: draining
+	// in-flight requests plus saving resident sessions to the state dir
+	// (default 10s). A large state dir may need more; sessions that miss
+	// the deadline are logged individually and counted in the final line.
+	ShutdownTimeout time.Duration
+	// RateLimit caps each session's request rate in requests/second across
+	// all session-scoped routes (0 disables). Over-limit requests get a 429
+	// with a Retry-After header. Burst capacity is RateBurst.
+	RateLimit float64
+	// RateBurst is the per-session token-bucket burst size (default:
+	// max(1, 2*RateLimit) when RateLimit is set).
+	RateBurst int
+	// MaxInflight caps concurrently served requests across all tenants
+	// (0 disables). Over-cap requests get a 429 with Retry-After: 1;
+	// /healthz and /metrics are exempt so the daemon stays observable
+	// exactly when the cap is biting.
+	MaxInflight int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by
+	// default: profiles expose internals, so exposure is an operator
+	// decision made with the -pprof flag).
+	EnablePprof bool
+	Logger      *log.Logger // request log (nil = silent)
 }
 
 // Server is the assembled daemon: a Manager plus the HTTP surface.
@@ -50,6 +78,20 @@ type Server struct {
 	mux   *http.ServeMux
 	hsrv  *http.Server
 	start time.Time
+
+	// HTTP-layer metrics, registered into the manager's registry. The
+	// request counter and latency histogram are labeled by route pattern
+	// (never the raw path — bounded cardinality), the counter additionally
+	// by method and status class.
+	httpRequests *metrics.CounterVec   // route, method, code class
+	httpLatency  *metrics.HistogramVec // route
+	rateLimited  *metrics.CounterVec   // scope: session | inflight
+	snapBytesIn  *metrics.Counter      // snapshot bytes decoded (restore, revive, warm boot)
+	snapBytesOut *metrics.Counter      // snapshot bytes encoded (downloads, persists, spills)
+	probeBatches *metrics.Counter
+
+	limiter  *tokenLimiter // per-session token buckets; nil when disabled
+	inflight atomic.Int64  // requests currently inside the middleware
 
 	// stateMu serializes disk revives and eviction spills against DELETEs.
 	// Without it a DELETE that misses a spilled session in the manager can
@@ -86,6 +128,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxSnapshotBytes == 0 {
 		cfg.MaxSnapshotBytes = 1 << 30
 	}
+	if cfg.ShutdownTimeout == 0 {
+		cfg.ShutdownTimeout = 10 * time.Second
+	}
+	if cfg.RateLimit > 0 && cfg.RateBurst == 0 {
+		cfg.RateBurst = int(2 * cfg.RateLimit)
+		if cfg.RateBurst < 1 {
+			cfg.RateBurst = 1
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		mgr:     NewManager(cfg.Capacity),
@@ -93,8 +144,53 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 		deleted: make(map[string]bool),
 	}
+	reg := s.mgr.Registry()
+	s.httpRequests = reg.CounterVec("plasmad_http_requests_total",
+		"Completed HTTP requests by route pattern, method, and status class.",
+		"route", "method", "code")
+	s.httpLatency = reg.HistogramVec("plasmad_http_request_duration_seconds",
+		"HTTP request latency by route pattern.", nil, "route")
+	s.rateLimited = reg.CounterVec("plasmad_rate_limited_total",
+		"Requests rejected with 429: per-session token bucket (scope=session) or the global inflight cap (scope=inflight).",
+		"scope")
+	s.snapBytesIn = reg.Counter("plasmad_snapshot_bytes_in_total",
+		"Snapshot bytes decoded: restore uploads, disk revives, warm boots.")
+	s.snapBytesOut = reg.Counter("plasmad_snapshot_bytes_out_total",
+		"Snapshot bytes encoded: downloads, explicit persists, eviction spills, shutdown saves.")
+	s.probeBatches = reg.Counter("plasmad_probe_batches_total",
+		"Batched probe requests served by POST /v1/sessions/{id}/probes.")
+	reg.GaugeFunc("plasmad_inflight_requests", "Requests currently being served.",
+		func() float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc("plasmad_uptime_seconds", "Seconds since the daemon started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	reg.GaugeFunc("plasmad_goroutines", "Goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	if cfg.RateLimit > 0 {
+		s.limiter = newTokenLimiter(cfg.RateLimit, float64(cfg.RateBurst))
+	}
 	for _, rt := range s.Routes() {
-		s.mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
+		s.mux.HandleFunc(rt.Method+" "+rt.Pattern, s.instrument(rt))
+	}
+	// Requests matching no route get the JSON 404 envelope (and count as
+	// errors) like every other failure — the mux's default text/plain 404
+	// was the one error response that bypassed both.
+	s.mux.HandleFunc("/", s.handleUnmatched)
+	if cfg.EnablePprof {
+		// One shared route label: per-profile series would be cardinality
+		// without insight, but "unmatched" would be a lie.
+		profiled := func(h http.HandlerFunc) http.HandlerFunc {
+			return func(w http.ResponseWriter, r *http.Request) {
+				if sw, ok := w.(*statusWriter); ok {
+					sw.route = "/debug/pprof/"
+				}
+				h(w, r)
+			}
+		}
+		s.mux.HandleFunc("/debug/pprof/", profiled(pprof.Index))
+		s.mux.HandleFunc("/debug/pprof/cmdline", profiled(pprof.Cmdline))
+		s.mux.HandleFunc("/debug/pprof/profile", profiled(pprof.Profile))
+		s.mux.HandleFunc("/debug/pprof/symbol", profiled(pprof.Symbol))
+		s.mux.HandleFunc("/debug/pprof/trace", profiled(pprof.Trace))
 	}
 	if cfg.StateDir != "" {
 		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
@@ -141,20 +237,25 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 }
 
 // Serve runs the daemon on an existing listener until ctx is cancelled.
+// The graceful-shutdown sequence — drain in-flight requests, then save
+// resident sessions to the state dir — runs under one Config.ShutdownTimeout
+// deadline; sessions that miss it are logged individually and counted in
+// the final state-save line instead of vanishing silently.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	s.logf("plasmad listening on %s", ln.Addr())
 	errc := make(chan error, 1)
 	go func() { errc <- s.hsrv.Serve(ln) }()
 	select {
 	case <-ctx.Done():
-		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 		defer cancel()
 		err := s.hsrv.Shutdown(sctx)
 		if s.cfg.StateDir != "" {
-			if n, serr := s.SaveState(); serr != nil {
-				s.logf("state save incomplete (%d saved): %v", n, serr)
+			if saved, failed, serr := s.SaveState(sctx); serr != nil {
+				s.logf("state save incomplete: %d saved, %d failed -> %s (first error: %v)",
+					saved, failed, s.cfg.StateDir, serr)
 			} else {
-				s.logf("state saved: %d session(s) -> %s", n, s.cfg.StateDir)
+				s.logf("state saved: %d session(s), 0 failed -> %s", saved, s.cfg.StateDir)
 			}
 		}
 		s.logf("plasmad shut down")
@@ -165,4 +266,71 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		}
 		return err
 	}
+}
+
+// instrument wraps a route handler with the concerns that need the matched
+// pattern: tagging the response writer so the middleware can label metrics
+// by route instead of raw path, and the per-session token bucket on
+// {id}-scoped routes (the "tenant" of a probe daemon is the session).
+func (s *Server) instrument(rt Route) http.HandlerFunc {
+	limited := strings.Contains(rt.Pattern, "{id}")
+	return func(w http.ResponseWriter, r *http.Request) {
+		if sw, ok := w.(*statusWriter); ok {
+			sw.route = rt.Pattern
+		}
+		if limited && s.limiter != nil {
+			id := r.PathValue("id")
+			if retry, ok := s.limiter.allow(id, time.Now()); !ok {
+				s.rateLimited.With("session").Inc()
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retry)))
+				s.writeError(w, http.StatusTooManyRequests, "rate_limited",
+					"session %q is over its request rate limit (%.3g/s); retry in %v",
+					id, s.cfg.RateLimit, retry.Round(time.Millisecond))
+				return
+			}
+		}
+		rt.handler(w, r)
+	}
+}
+
+// handleUnmatched is the mux fallback: a JSON 404 envelope (counted in the
+// error stats like every writeError) instead of net/http's bare text 404,
+// and a 405 with an Allow header when the path matches a registered pattern
+// under a different method.
+func (s *Server) handleUnmatched(w http.ResponseWriter, r *http.Request) {
+	var allowed []string
+	for _, rt := range s.Routes() {
+		if rt.Method != r.Method && patternMatches(rt.Pattern, r.URL.Path) {
+			allowed = append(allowed, rt.Method)
+		}
+	}
+	if len(allowed) > 0 {
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		s.writeError(w, http.StatusMethodNotAllowed, "method_not_allowed",
+			"%s not allowed on %s (allowed: %s)", r.Method, r.URL.Path, strings.Join(allowed, ", "))
+		return
+	}
+	s.writeError(w, http.StatusNotFound, "not_found", "no route for %s %s", r.Method, r.URL.Path)
+}
+
+// patternMatches reports whether a route pattern's path (with {id}-style
+// wildcards) matches the given request path.
+func patternMatches(pattern, path string) bool {
+	ps := strings.Split(pattern, "/")
+	xs := strings.Split(path, "/")
+	if len(ps) != len(xs) {
+		return false
+	}
+	for i := range ps {
+		if strings.HasPrefix(ps[i], "{") && strings.HasSuffix(ps[i], "}") {
+			if xs[i] == "" {
+				return false
+			}
+			continue
+		}
+		if ps[i] != xs[i] {
+			return false
+		}
+	}
+	return true
 }

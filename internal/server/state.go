@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -83,6 +84,7 @@ func (s *Server) spillSession(ms *ManagedSession) error {
 		s.logf("spill %s failed: %v", ms.ID, err)
 		return err
 	}
+	s.snapBytesOut.Add(int64(n))
 	s.logf("spilled session %s to disk (%d bytes, %d cached pairs)", ms.ID, n, ms.Session.CachedPairs())
 	return nil
 }
@@ -126,7 +128,9 @@ func (s *Server) loadSessionFile(id string) (*ManagedSession, error) {
 		return nil, err
 	}
 	defer f.Close()
-	sess, err := core.RestoreSession(f, nil)
+	body := &maxBytesTracker{r: f}
+	sess, err := core.RestoreSession(body, nil)
+	s.snapBytesIn.Add(body.n)
 	if err != nil {
 		return nil, err
 	}
@@ -184,25 +188,42 @@ func (s *Server) revive(id string) bool {
 }
 
 // SaveState snapshots every resident session into the state dir — the
-// graceful-shutdown path. It returns how many sessions were saved and the
-// first error encountered (saving continues past individual failures).
-func (s *Server) SaveState() (int, error) {
+// graceful-shutdown path. The context bounds the whole sweep (the
+// configurable -shutdown-timeout budget): once it expires, every remaining
+// session is logged as lost instead of silently skipped. It returns how
+// many sessions were saved, how many failed (save errors plus deadline
+// misses), and the first error encountered; saving continues past
+// individual failures but stops at the deadline.
+func (s *Server) SaveState(ctx context.Context) (saved, failed int, firstErr error) {
 	if s.cfg.StateDir == "" {
-		return 0, nil
+		return 0, 0, nil
 	}
-	var firstErr error
-	saved := 0
-	for _, ms := range s.mgr.List() {
-		if _, err := s.saveSession(ms); err != nil {
+	sessions := s.mgr.List()
+	for i, ms := range sessions {
+		if err := ctx.Err(); err != nil {
+			for _, lost := range sessions[i:] {
+				s.logf("save state %s: not saved, shutdown deadline exceeded (%d cached pairs lost)",
+					lost.ID, lost.Session.CachedPairs())
+			}
+			failed += len(sessions) - i
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shutdown deadline: %w", err)
+			}
+			break
+		}
+		n, err := s.saveSession(ms)
+		if err != nil {
 			s.logf("save state %s: %v", ms.ID, err)
+			failed++
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
+		s.snapBytesOut.Add(int64(n))
 		saved++
 	}
-	return saved, firstErr
+	return saved, failed, firstErr
 }
 
 // LoadState restores saved sessions from the state dir — the warm-boot

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -86,8 +87,8 @@ func TestRestartCycleWarmStart(t *testing.T) {
 	if first.PairCount == 0 {
 		t.Fatal("first probe found nothing")
 	}
-	if n, err := srv1.SaveState(); err != nil || n != 1 {
-		t.Fatalf("SaveState: n=%d err=%v", n, err)
+	if n, failed, err := srv1.SaveState(context.Background()); err != nil || n != 1 || failed != 0 {
+		t.Fatalf("SaveState: n=%d failed=%d err=%v", n, failed, err)
 	}
 	ts1.Close()
 
@@ -234,7 +235,7 @@ func TestDeleteRemovesSpilledState(t *testing.T) {
 	srv, ts := newStateServer(t, 4, dir)
 	id := createToy(t, ts.URL)
 	probeAt(t, ts.URL, id, 0.5)
-	if _, err := srv.SaveState(); err != nil {
+	if _, _, err := srv.SaveState(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if st := call(t, "DELETE", ts.URL+"/v1/sessions/"+id, nil, nil); st != 200 {

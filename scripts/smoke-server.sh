@@ -80,6 +80,28 @@ req probe '"pairCount"' -X POST "$base/v1/sessions/s1/probe" \
 req curve '"knee"' "$base/v1/sessions/s1/curve?lo=0.3&hi=0.9&steps=7"
 req cues '"triangles"' "$base/v1/sessions/s1/cues?t=0.5"
 req stats '"probes":' "$base/v1/stats"
+req batch '"failed":0' -X POST "$base/v1/sessions/s1/probes" \
+    -d '{"thresholds":[0.4,0.7]}'
+
+# /metrics: the counters driven above must be non-zero and every line must
+# be a well-formed Prometheus text-exposition line (comment or sample).
+metrics=$(curl -sS --fail --max-time 30 "$base/metrics") || {
+    echo "smoke-server: metrics scrape failed"; exit 1; }
+for counter in plasmad_probes_total plasmad_sessions_created_total; do
+    val=$(printf '%s\n' "$metrics" | sed -n "s/^$counter \([0-9][0-9]*\)$/\1/p")
+    if [ -z "$val" ] || [ "$val" -eq 0 ]; then
+        echo "smoke-server: metrics: $counter missing or zero"; exit 1
+    fi
+done
+bad=$(printf '%s\n' "$metrics" | grep -cvE \
+    '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]+ .*|[a-zA-Z_:][a-zA-Z0-9_:]+(\{([a-zA-Z_][a-zA-Z0-9_]*="[^"]*",?)*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf))$') || true
+if [ "$bad" -ne 0 ]; then
+    echo "smoke-server: metrics: $bad malformed exposition line(s):"
+    printf '%s\n' "$metrics" | grep -vE \
+        '^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]+ .*|[a-zA-Z_:][a-zA-Z0-9_:]+(\{([a-zA-Z_][a-zA-Z0-9_]*="[^"]*",?)*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf))$' | head -5
+    exit 1
+fi
+echo "smoke-server: metrics ok ($(printf '%s\n' "$metrics" | wc -l) lines)"
 reqerr badjson bad_request -X POST "$base/v1/sessions/s1/probe" -d '{nope'
 reqerr trailing bad_request -X POST "$base/v1/sessions/s1/probe" \
     -d '{"threshold":0.5}garbage'
@@ -106,7 +128,7 @@ req warmsession '"id":"s1"' "$base/v1/sessions/s1"
 warm=$(curl -sS --max-time 30 "$base/v1/sessions/s1")
 case "$warm" in
     *'"cachedPairs":0'*) echo "smoke-server: warm start lost the cache: $warm"; exit 1 ;;
-    *'"probes":1'*) echo "smoke-server: warm cache intact" ;;
+    *'"probes":3'*) echo "smoke-server: warm cache intact" ;; # 1 single + 2 batched
     *) echo "smoke-server: unexpected warm session: $warm"; exit 1 ;;
 esac
 req warmstats '"sessionsRestored"' "$base/v1/stats"
