@@ -4,7 +4,10 @@ GO ?= go
 BENCH_OUT ?= BENCH_new.json
 BENCH_SCALE ?= 100
 
-.PHONY: all build vet test short race bench bench-workers bench-repeat bench-json serve smoke-server ci
+.PHONY: all build vet test short race fuzz bench bench-workers bench-repeat bench-json serve smoke-server ci
+
+# fuzz time per target for the bounded CI pass (override for longer local runs).
+FUZZTIME ?= 15s
 
 all: build
 
@@ -27,6 +30,13 @@ short:
 # shared mutable state.
 race:
 	$(GO) test -race ./internal/bayeslsh ./internal/core ./internal/server ./internal/metrics
+
+# fuzz runs each native fuzz target for $(FUZZTIME) on top of the checked-in
+# seed corpora in testdata/fuzz: the snapshot decoder (warm-start trust
+# boundary) and the live-ingest request parser (wire trust boundary).
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecodeSnapshot -fuzztime $(FUZZTIME) ./internal/bayeslsh
+	$(GO) test -run xxx -fuzz FuzzAppendRowsBody -fuzztime $(FUZZTIME) ./internal/server
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

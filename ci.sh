@@ -15,7 +15,11 @@
 # compares it against the checked-in BENCH_baseline.json: schema drift
 # (version bump, missing block, changed experiment set) fails the build,
 # timing regressions are warn-only.
-# Tier 5 (full, optional via CI_FULL=1): the complete test suite including
+# Tier 5 (fuzz): a bounded native-fuzzing pass (~30s total) over the two
+# parsers that consume untrusted bytes — the cache snapshot decoder and the
+# live-ingest request body — seeded from the checked-in corpora under
+# testdata/fuzz/.
+# Tier 6 (full, optional via CI_FULL=1): the complete test suite including
 # the seconds-long experiment sweeps.
 set -eu
 
@@ -41,11 +45,16 @@ grep -q '"cachedPairs"' "$bench_out" || {
     echo "ci: bench-json missing cache stats"; exit 1; }
 grep -q '"repeatProbe"' "$bench_out" || {
     echo "ci: bench-json missing repeat-probe stats"; exit 1; }
+grep -q '"ingest"' "$bench_out" || {
+    echo "ci: bench-json missing ingest stats"; exit 1; }
 go run ./cmd/benchdiff BENCH_baseline.json "$bench_out"
 echo "ci: bench-json ok ($(wc -c < "$bench_out") bytes)"
 
+echo "== tier 5: bounded fuzz over untrusted-input parsers =="
+make fuzz
+
 if [ "${CI_FULL:-0}" = "1" ]; then
-    echo "== tier 5: full test suite =="
+    echo "== tier 6: full test suite =="
     make test
 fi
 

@@ -42,6 +42,10 @@ type report struct {
 		FirstMillis float64 `json:"firstMillis"`
 		WarmMillis  float64 `json:"warmMillis"`
 	} `json:"repeatProbe"`
+	Ingest *struct {
+		AppendMillis  float64 `json:"appendMillis"`
+		IndexRebuilds int64   `json:"indexRebuilds"`
+	} `json:"ingest"`
 }
 
 // warnFactor is the slowdown beyond which a timing difference is reported.
@@ -100,6 +104,9 @@ func main() {
 	if fresh.RepeatProbe == nil {
 		fail("fresh report has no repeatProbe block")
 	}
+	if fresh.Ingest == nil {
+		fail("fresh report has no ingest block")
+	}
 	bids, fids := ids(base), ids(fresh)
 	if len(bids) != len(fids) {
 		fail("%d experiments in baseline, %d in fresh report", len(bids), len(fids))
@@ -142,6 +149,17 @@ func main() {
 	if base.RepeatProbe != nil && fresh.RepeatProbe != nil {
 		if b, f := base.RepeatProbe.WarmMillis, fresh.RepeatProbe.WarmMillis; b > 0.05 && f > b*warnFactor {
 			warn("repeat-probe warm: %.3fms vs baseline %.3fms (%.2fx)", f, b, f/b)
+		}
+	}
+	if base.Ingest != nil && fresh.Ingest != nil {
+		if b, f := base.Ingest.AppendMillis, fresh.Ingest.AppendMillis; b > 0.05 && f > b*warnFactor {
+			warn("ingest append: %.3fms vs baseline %.3fms (%.2fx)", f, b, f/b)
+		}
+		// Same scale and seed, so the rebuild count is deterministic: a change
+		// means the amortization policy moved, which deserves a look even
+		// though it is not schema drift.
+		if b, f := base.Ingest.IndexRebuilds, fresh.Ingest.IndexRebuilds; b != f {
+			warn("ingest index rebuilds: %d vs baseline %d", f, b)
 		}
 	}
 	if warns == 0 {

@@ -29,13 +29,14 @@ import (
 	"plasmahd/internal/core"
 	"plasmahd/internal/dataset"
 	"plasmahd/internal/experiments"
+	"plasmahd/internal/vec"
 )
 
-// benchReport is the -json output shape (schema 2: schema 1 plus the
-// repeatProbe block). Wall times move with the machine; the counter fields
-// (candidates, pruned, cacheHits, hashesCompared, cachedPairs, and the
-// repeat-probe counters) are deterministic for a given scale/seed and
-// comparable across commits.
+// benchReport is the -json output shape (schema 3: schema 2 plus the
+// ingest block). Wall times move with the machine; the counter fields
+// (candidates, pruned, cacheHits, hashesCompared, cachedPairs, the
+// repeat-probe counters, and the ingest rebuild/pair counts) are
+// deterministic for a given scale/seed and comparable across commits.
 type benchReport struct {
 	Schema      int               `json:"schema"`
 	Scale       int               `json:"scale"`
@@ -45,12 +46,13 @@ type benchReport struct {
 	Experiments []benchExperiment `json:"experiments"`
 	Cache       *benchCache       `json:"cache,omitempty"`
 	RepeatProbe *benchRepeat      `json:"repeatProbe,omitempty"`
+	Ingest      *benchIngest      `json:"ingest,omitempty"`
 }
 
 // benchSchema is the current benchReport schema version. Bump it whenever
 // the report shape changes; cmd/benchdiff fails CI on a mismatch against
 // the checked-in baseline.
-const benchSchema = 2
+const benchSchema = 3
 
 // benchRepeat is the repeat-probe trajectory: the per-probe cost of
 // re-probing one threshold on a warm knowledge cache — the Fig 2.1 loop's
@@ -68,6 +70,23 @@ type benchRepeat struct {
 	WarmCacheHits  int     `json:"warmCacheHits"`
 	WarmHashes     int64   `json:"warmHashes"`
 	WarmCandidates int     `json:"warmCandidates"`
+}
+
+// benchIngest is the live-ingest trajectory: a session built over a prefix
+// of the dataset is grown to full size in fixed batches with a probe after
+// each batch (the streaming loop's shape). AppendMillis and RowsPerSec are
+// the perf trajectory (sketching plus amortized index rebuilds);
+// IndexRebuilds and FinalPairs are deterministic for a given scale/seed —
+// a rebuild-count change means the amortization policy moved.
+type benchIngest struct {
+	Dataset       string  `json:"dataset"`
+	Rows          int     `json:"rows"`
+	BaseRows      int     `json:"baseRows"`
+	Batches       int     `json:"batches"`
+	AppendMillis  float64 `json:"appendMillis"`
+	RowsPerSec    float64 `json:"rowsPerSec"`
+	IndexRebuilds int64   `json:"indexRebuilds"`
+	FinalPairs    int     `json:"finalPairs"`
 }
 
 type benchExperiment struct {
@@ -141,6 +160,7 @@ func main() {
 		}
 		report.Cache = cacheWorkload(opt)
 		report.RepeatProbe = repeatProbeWorkload(opt)
+		report.Ingest = ingestWorkload(opt)
 		report.TotalMillis = millis(time.Since(total))
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -255,5 +275,56 @@ func repeatProbeWorkload(opt experiments.Options) *benchRepeat {
 		out.WarmCandidates = res.Candidates
 	}
 	out.WarmMillis = millis(warm) / repeats
+	return out
+}
+
+// ingestWorkload grows a session from a quarter of the dataset to full size
+// in fixed batches, probing after every batch so the candidate index has to
+// keep up — the interactive streaming loop POST /rows was built for. The
+// reported append time is what AppendRows itself charged (sketching new
+// rows), while rebuild work lands inside the probes and is visible through
+// the rebuild counter.
+func ingestWorkload(opt experiments.Options) *benchIngest {
+	const batch = 16
+	rows := 400
+	if opt.Scale > 0 && opt.Scale < rows {
+		rows = opt.Scale
+	}
+	ds, err := dataset.NewCorpusScaled("twitter", rows, opt.Seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plasmabench: ingest workload:", err)
+		return nil
+	}
+	base := max(ds.N()/4, 1)
+	prefix := &vec.Dataset{Name: ds.Name, Dim: ds.Dim, Measure: ds.Measure, Rows: ds.Rows[:base:base]}
+	sess := core.NewSession(prefix, opt.Params(), opt.Seed)
+	out := &benchIngest{Dataset: ds.Name, Rows: ds.N(), BaseRows: base}
+	var appendTime time.Duration
+	for at := base; at < ds.N(); {
+		hi := min(at+batch, ds.N())
+		d, err := sess.AppendRows(ds.Rows[at:hi])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plasmabench: ingest workload:", err)
+			return nil
+		}
+		appendTime += d
+		at = hi
+		out.Batches++
+		if _, err := sess.Probe(0.8); err != nil {
+			fmt.Fprintln(os.Stderr, "plasmabench: ingest workload:", err)
+			return nil
+		}
+	}
+	res, err := sess.Probe(0.9)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plasmabench: ingest workload:", err)
+		return nil
+	}
+	out.AppendMillis = millis(appendTime)
+	if appendTime > 0 {
+		out.RowsPerSec = float64(ds.N()-base) / appendTime.Seconds()
+	}
+	out.IndexRebuilds = sess.Cache.IndexRebuilds()
+	out.FinalPairs = len(res.Pairs)
 	return out
 }

@@ -97,24 +97,51 @@ func UnpackKey(k uint64) (int32, int32) {
 // A Cache is safe for concurrent probes: the pair table is a striped
 // PairStore with monotone writes, the concentration table is precomputed at
 // construction, and the per-threshold prune bounds are built under a lock.
-// The sketches themselves are immutable after NewCache.
+// The sketch table grows append-only under rowsMu (live ingest); each probe
+// captures an immutable row view at its start, so in-flight probes see
+// either the pre-append or post-append state, never a torn one.
 type Cache struct {
 	Params  Params
 	Measure vec.Measure
-	N       int
 	// Seed is the sketch-family seed the cache was built with; it rides
 	// along in snapshots so a restored cache is identifiable and a re-sketch
 	// from the same dataset would reproduce the same signatures.
 	Seed int64
 
+	// rowsMu guards the growable row state: n, the signature tables, and
+	// nothing else. AppendRows holds it for a pointer swap only — sketching
+	// happens outside — so probes are never blocked behind sketch work.
+	rowsMu  sync.RWMutex
+	n       int
 	minSigs [][]uint32
 	srpSigs [][]uint64
 
+	// dim is the feature-space dimension the sketchers were built over;
+	// immutable after construction. Appended rows must keep their indices
+	// below it (SRP directions only exist for dims < dim).
+	dim int
+	// mh/srp are the sketchers retained from construction so AppendRows
+	// extends the signature table with the exact hash family NewCache used.
+	// A cache restored from a snapshot recreates them lazily on the first
+	// append — signatures are pure functions of (row, seed[, dim]), so the
+	// recreated family sketches byte-identically.
+	mh  *lsh.MinHasher
+	srp *lsh.SRP
+
+	// appendMu serializes AppendRows calls with each other and with
+	// EncodeSnapshot, so a snapshot's row count can never lag pairs written
+	// by a probe that already saw the appended rows.
+	appendMu sync.Mutex
+
 	// Pairs memoizes evidence for every candidate pair ever evaluated.
+	// Pair identity is stable under appends (keys are row-id pairs and rows
+	// are append-only), so accumulated evidence stays valid as the dataset
+	// grows.
 	Pairs *PairStore
 
 	// SketchTime is the start-up cost of building the initial sketches
-	// (the Fig 2.9 quantity); it is paid once per dataset.
+	// (the Fig 2.9 quantity); it is paid once per dataset. Append sketch
+	// cost is reported per call by AppendRows, not accumulated here.
 	SketchTime time.Duration
 
 	// conc[k] marks (m at schedule point k) combinations whose posterior is
@@ -126,14 +153,43 @@ type Cache struct {
 	pruneMu  sync.Mutex
 	pruneMax map[float64][]int32
 
-	// idx is the persistent candidate index (see candIndex), built lazily on
+	// idx is the published candidate index (see candIndex), built lazily on
 	// the first probe — candidate generation is threshold-independent, so
-	// every later probe on this cache reuses it. Immutable once built.
-	idxOnce sync.Once
-	idx     *candIndex
+	// every later probe on this cache reuses it. Each published value is
+	// immutable; appends advance the pointer to an extended or rebuilt index
+	// under idxMu (see candidateIndex).
+	idxMu       sync.Mutex
+	idx         atomic.Pointer[candIndex]
+	idxRebuilds atomic.Int64
 	// scratchPool recycles probe working sets (candidate/outcome batches,
 	// epoch marks) so repeat probes allocate near-zero.
 	scratchPool sync.Pool
+}
+
+// Rows returns the number of rows currently sketched into the cache.
+func (c *Cache) Rows() int {
+	c.rowsMu.RLock()
+	defer c.rowsMu.RUnlock()
+	return c.n
+}
+
+// Dim returns the feature-space dimension the cache sketches over.
+func (c *Cache) Dim() int { return c.dim }
+
+// rowView is an immutable snapshot of the cache's sketch table, captured
+// once per probe. Appends replace the slice headers rather than mutating
+// shared backing arrays (copy-on-write), so a view stays valid for the
+// whole probe even while AppendRows lands concurrently.
+type rowView struct {
+	n       int
+	minSigs [][]uint32
+	srpSigs [][]uint64
+}
+
+func (c *Cache) rows() rowView {
+	c.rowsMu.RLock()
+	defer c.rowsMu.RUnlock()
+	return rowView{n: c.n, minSigs: c.minSigs, srpSigs: c.srpSigs}
 }
 
 // NewCache sketches the dataset and returns an empty knowledge cache.
@@ -146,7 +202,8 @@ func NewCache(ds *vec.Dataset, p Params, seed int64) *Cache {
 	c := &Cache{
 		Params:   p,
 		Measure:  ds.Measure,
-		N:        ds.N(),
+		n:        ds.N(),
+		dim:      ds.Dim,
 		Seed:     seed,
 		Pairs:    NewPairStore(),
 		pruneMax: make(map[float64][]int32),
@@ -155,16 +212,16 @@ func NewCache(ds *vec.Dataset, p Params, seed int64) *Cache {
 	start := time.Now()
 	workers := p.WorkerCount()
 	if ds.Measure == vec.JaccardSim {
-		mh := lsh.NewMinHasher(p.MaxHashes, seed)
+		c.mh = lsh.NewMinHasher(p.MaxHashes, seed)
 		c.minSigs = make([][]uint32, ds.N())
 		sketchRows(ds.N(), workers, func(i int) {
-			c.minSigs[i] = mh.Sketch(ds.Rows[i])
+			c.minSigs[i] = c.mh.Sketch(ds.Rows[i])
 		})
 	} else {
-		srp := lsh.NewSRP(p.MaxHashes, ds.Dim, seed)
+		c.srp = lsh.NewSRP(p.MaxHashes, ds.Dim, seed)
 		c.srpSigs = make([][]uint64, ds.N())
 		sketchRows(ds.N(), workers, func(i int) {
-			c.srpSigs[i] = srp.Sketch(ds.Rows[i])
+			c.srpSigs[i] = c.srp.Sketch(ds.Rows[i])
 		})
 	}
 	for k := range c.conc {
@@ -174,12 +231,75 @@ func NewCache(ds *vec.Dataset, p Params, seed int64) *Cache {
 	return c
 }
 
-// matches counts agreeing hash positions among the first n for pair (i, j).
-func (c *Cache) matches(i, j int32, n int) int {
-	if c.minSigs != nil {
-		return lsh.MatchesU32(c.minSigs[i], c.minSigs[j], n)
+// AppendRows sketches a batch of new rows through the same hash family
+// NewCache used and appends them to the signature table — the incremental
+// half of live ingest. Rows must be in final form (validated indices,
+// normalized values for cosine data); callers own that contract. Appends
+// are serialized with each other, but probes keep running throughout: the
+// signature slices are replaced copy-on-write under rowsMu, so an in-flight
+// probe keeps its captured view and the rows become visible atomically.
+// Sketching is parallelized across Params.Workers and is byte-identical to
+// what NewCache over the grown dataset would have produced, which is the
+// append-equals-rebuild equivalence the ingest tests pin down.
+// It returns the sketch wall time for the batch.
+func (c *Cache) AppendRows(rows []vec.Sparse) (time.Duration, error) {
+	if len(rows) == 0 {
+		return 0, nil
 	}
-	return lsh.MatchesPacked(c.srpSigs[i], c.srpSigs[j], n)
+	for ri, r := range rows {
+		if len(r.Values) != len(r.Indices) {
+			return 0, fmt.Errorf("bayeslsh: append row %d: %d values for %d indices", ri, len(r.Values), len(r.Indices))
+		}
+		for k, ix := range r.Indices {
+			if ix < 0 || int(ix) >= c.dim {
+				return 0, fmt.Errorf("bayeslsh: append row %d: index %d outside dimension %d", ri, ix, c.dim)
+			}
+			if k > 0 && r.Indices[k-1] >= ix {
+				return 0, fmt.Errorf("bayeslsh: append row %d: indices not strictly increasing", ri)
+			}
+		}
+	}
+	c.appendMu.Lock()
+	defer c.appendMu.Unlock()
+	start := time.Now()
+	workers := c.Params.WorkerCount()
+	if c.Measure == vec.JaccardSim {
+		if c.mh == nil {
+			c.mh = lsh.NewMinHasher(c.Params.MaxHashes, c.Seed)
+		}
+		sigs := make([][]uint32, len(rows))
+		sketchRows(len(rows), workers, func(i int) {
+			sigs[i] = c.mh.Sketch(rows[i])
+		})
+		c.rowsMu.Lock()
+		c.minSigs = append(c.minSigs[:len(c.minSigs):len(c.minSigs)], sigs...)
+		c.n += len(rows)
+		c.rowsMu.Unlock()
+	} else {
+		if c.srp == nil {
+			if c.dim <= 0 {
+				return 0, fmt.Errorf("bayeslsh: cache carries no dimension, cannot rebuild the SRP sketcher")
+			}
+			c.srp = lsh.NewSRP(c.Params.MaxHashes, c.dim, c.Seed)
+		}
+		sigs := make([][]uint64, len(rows))
+		sketchRows(len(rows), workers, func(i int) {
+			sigs[i] = c.srp.Sketch(rows[i])
+		})
+		c.rowsMu.Lock()
+		c.srpSigs = append(c.srpSigs[:len(c.srpSigs):len(c.srpSigs)], sigs...)
+		c.n += len(rows)
+		c.rowsMu.Unlock()
+	}
+	return time.Since(start), nil
+}
+
+// matches counts agreeing hash positions among the first n for pair (i, j).
+func (v rowView) matches(i, j int32, n int) int {
+	if v.minSigs != nil {
+		return lsh.MatchesU32(v.minSigs[i], v.minSigs[j], n)
+	}
+	return lsh.MatchesPacked(v.srpSigs[i], v.srpSigs[j], n)
 }
 
 // simToCollision maps a similarity threshold into per-hash collision space.
@@ -336,7 +456,7 @@ type candOutcome struct {
 // of the pair's stored state plus the immutable sketches and decision
 // tables, so evaluating candidates in any order or on any number of workers
 // yields identical outcomes.
-func (c *Cache) evalCandidate(ds *vec.Dataset, cd candidate, t float64, bound []int32) candOutcome {
+func (c *Cache) evalCandidate(ds *vec.Dataset, v rowView, cd candidate, t float64, bound []int32) candOutcome {
 	p := c.Params
 	key := PairKey(cd.j, cd.i)
 	ps, _ := c.Pairs.Get(key)
@@ -356,7 +476,7 @@ func (c *Cache) evalCandidate(ds *vec.Dataset, cd candidate, t float64, bound []
 			if n > p.MaxHashes {
 				n = p.MaxHashes
 			}
-			ps.M = int32(c.matches(cd.j, cd.i, n))
+			ps.M = int32(v.matches(cd.j, cd.i, n))
 			out.hashes += int64(n - int(ps.N))
 			ps.N = int32(n)
 			if ps.M <= bound[k] {
@@ -387,14 +507,14 @@ func (c *Cache) evalCandidate(ds *vec.Dataset, cd candidate, t float64, bound []
 // workers. Work is handed out in fixed-size chunks from an atomic cursor;
 // since each outcome lands at its candidate's index, the result is
 // independent of scheduling.
-func (c *Cache) evalBatch(ds *vec.Dataset, cands []candidate, outs []candOutcome, t float64, bound []int32, workers int) {
+func (c *Cache) evalBatch(ds *vec.Dataset, v rowView, cands []candidate, outs []candOutcome, t float64, bound []int32, workers int) {
 	const chunk = 64
 	if workers > len(cands)/chunk {
 		workers = len(cands) / chunk
 	}
 	if workers <= 1 {
 		for idx, cd := range cands {
-			outs[idx] = c.evalCandidate(ds, cd, t, bound)
+			outs[idx] = c.evalCandidate(ds, v, cd, t, bound)
 		}
 		return
 	}
@@ -414,7 +534,7 @@ func (c *Cache) evalBatch(ds *vec.Dataset, cands []candidate, outs []candOutcome
 					hi = len(cands)
 				}
 				for idx := lo; idx < hi; idx++ {
-					outs[idx] = c.evalCandidate(ds, cands[idx], t, bound)
+					outs[idx] = c.evalCandidate(ds, v, cands[idx], t, bound)
 				}
 			}
 		}()
@@ -445,8 +565,12 @@ func Search(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc) (*Resul
 // is scheduling-only — outcomes are byte-identical for any value — so
 // concurrent probes on one cache may each bring their own pool size.
 func SearchWorkers(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc, workers int) (*Result, error) {
-	if ds.N() != c.N {
-		return nil, fmt.Errorf("bayeslsh: cache built for %d rows, dataset has %d", c.N, ds.N())
+	v := c.rows()
+	if ds.N() > v.n {
+		// The cache may hold sketches for *more* rows than the caller's
+		// dataset view (an append landed after the view was captured) —
+		// probing a prefix is fine. Fewer sketches than rows is not.
+		return nil, fmt.Errorf("bayeslsh: cache built for %d rows, dataset has %d", v.n, ds.N())
 	}
 	start := time.Now()
 	res := &Result{Threshold: t}
@@ -467,7 +591,7 @@ func SearchWorkers(ds *vec.Dataset, t float64, c *Cache, progress ProgressFunc, 
 			sc.outs = make([]candOutcome, len(sc.cands))
 		}
 		outs := sc.outs[:len(sc.cands)]
-		c.evalBatch(ds, sc.cands, outs, t, bound, workers)
+		c.evalBatch(ds, v, sc.cands, outs, t, bound, workers)
 		done := 0
 		for _, mk := range sc.marks {
 			for ; done < mk.end; done++ {

@@ -169,10 +169,25 @@ func TestSearchProgressMonotone(t *testing.T) {
 
 func TestSearchCacheSizeMismatch(t *testing.T) {
 	ds := wineDS(t)
-	c := NewCache(ds, DefaultParams(), 1)
-	small := ds.Sample([]int{0, 1, 2})
-	if _, err := Search(small, 0.5, c, nil); err == nil {
-		t.Error("size mismatch must error")
+	idx := make([]int, 10)
+	for i := range idx {
+		idx[i] = i
+	}
+	small := ds.Sample(idx)
+	small.Name, small.Measure = ds.Name, ds.Measure
+	c := NewCache(small, DefaultParams(), 1)
+	// A dataset larger than the cache's row set must be refused: the cache
+	// has no signatures for the extra rows.
+	if _, err := Search(ds, 0.5, c, nil); err == nil {
+		t.Error("dataset larger than cache must error")
+	}
+	// The reverse — a prefix view of a cache that has since grown — is the
+	// probe-during-append window and must succeed.
+	if _, err := c.AppendRows(ds.Rows[10:20]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Search(small, 0.5, c, nil); err != nil {
+		t.Errorf("prefix probe after append must succeed, got %v", err)
 	}
 }
 

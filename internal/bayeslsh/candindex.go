@@ -15,65 +15,132 @@ import (
 // cached. The index is built once, lazily, on the first probe of a cache and
 // reused by every later probe.
 //
+// Live ingest grows the index without invalidating it: each candIndex value
+// is immutable, covering exactly total() rows. The bulk of the postings live
+// in CSR arrays (rows covered: [0, csrRows)); rows appended since the last
+// full build live in a per-feature tail map ([csrRows, csrRows+tailRows)),
+// still in ascending row order, so a probe sees the same merged posting list
+// a from-scratch build over the grown dataset would produce. Once the tail
+// outgrows a fraction of the CSR base, the next probe folds everything into
+// a fresh CSR build — a geometric rebuild schedule that keeps the amortized
+// indexing cost O(1) per appended row.
+//
 // Layout is CSR: the postings for feature f are rows[offsets[f]:offsets[f+1]],
-// row ids in ascending order, truncated to maxDF+1 entries — the stop-word
-// cap plus the single extra entry the O(1) skip test needs. The full
-// per-feature document frequencies exist only while building; the truncated
-// posting lengths encode everything probes need.
+// row ids in ascending order, untruncated. (The pre-ingest index truncated
+// postings at maxDF+1 entries; with appends the cap maxDF = frac*n grows with
+// the dataset, so entries past an old cap can become live again — the full
+// lists are kept and the cap is applied at generation time instead.)
 type candIndex struct {
-	offsets []int32
-	rows    []int32
-	maxDF   int32
+	csrRows  int32
+	offsets  []int32
+	rows     []int32
+	tail     map[int32][]int32
+	tailRows int32
+	// nnz is the total non-zeros over the covered rows, carried so extending
+	// the index can re-derive the stop-word cap without rescanning the prefix.
+	nnz   int64
+	maxDF int32
 }
 
-// resolveMaxDF computes the stop-word document-frequency cap once per
-// dataset: features present in more than MaxDFFrac of rows are skipped
-// during candidate generation. The cap is only sound for sparse data, where
-// features past it carry negligible weight; on dense matrix-like data (every
-// row touches most features) it would sever candidate generation entirely,
-// so it is disabled there.
-func resolveMaxDF(ds *vec.Dataset, frac float64) int32 {
-	maxDF := int(frac * float64(ds.N()))
+// total returns the number of rows the index covers.
+func (ix *candIndex) total() int32 { return ix.csrRows + ix.tailRows }
+
+// shouldRebuild reports whether growing to n rows should fold the index into
+// a fresh CSR build instead of extending the tail: rebuild once the tail
+// would exceed a quarter of the CSR base, so each full O(nnz) build pays for
+// at least csrRows/4 appended rows.
+func (ix *candIndex) shouldRebuild(n int) bool {
+	return int32(n)-ix.csrRows > ix.csrRows/4
+}
+
+// resolveMaxDF computes the stop-word document-frequency cap for an index
+// covering n rows with nnz total non-zeros: features present in more than
+// MaxDFFrac of rows are skipped during candidate generation. The cap is only
+// sound for sparse data, where features past it carry negligible weight; on
+// dense matrix-like data (every row touches most features) it would sever
+// candidate generation entirely, so it is disabled there.
+func resolveMaxDF(dim, n int, nnz int64, frac float64) int32 {
+	maxDF := int(frac * float64(n))
 	if maxDF < 2 {
 		maxDF = 2
 	}
-	if float64(ds.Dim) <= 2*ds.AvgLen() {
-		maxDF = ds.N()
+	avg := 0.0
+	if n > 0 {
+		avg = float64(nnz) / float64(n)
+	}
+	if float64(dim) <= 2*avg {
+		maxDF = n
 	}
 	return int32(maxDF)
 }
 
-// buildCandIndex constructs the CSR index for a dataset. The candidate set
-// it generates is bit-identical to the old per-probe incremental build: a
-// pair (j, i) is a candidate iff some shared feature f has j among its first
+// buildCandIndex constructs the CSR index over rows. The candidate set it
+// generates is bit-identical to the old per-probe incremental build: a pair
+// (j, i) is a candidate iff some shared feature f has j among its first
 // maxDF rows and at most maxDF rows before i carry f.
-func buildCandIndex(ds *vec.Dataset, frac float64) *candIndex {
-	maxDF := resolveMaxDF(ds, frac)
-	keep := maxDF + 1
-	df := make([]int32, ds.Dim)
-	for _, r := range ds.Rows {
+func buildCandIndex(dim int, rows []vec.Sparse, frac float64) *candIndex {
+	var nnz int64
+	for _, r := range rows {
+		nnz += int64(len(r.Indices))
+	}
+	n := len(rows)
+	offsets := make([]int32, dim+1)
+	for _, r := range rows {
 		for _, f := range r.Indices {
-			df[f]++
+			offsets[f+1]++
 		}
 	}
-	offsets := make([]int32, ds.Dim+1)
-	for f, d := range df {
-		if d > keep {
-			d = keep
-		}
-		offsets[f+1] = offsets[f] + d
+	for f := 0; f < dim; f++ {
+		offsets[f+1] += offsets[f]
 	}
-	rows := make([]int32, offsets[ds.Dim])
-	fill := make([]int32, ds.Dim)
-	for i, r := range ds.Rows {
+	out := make([]int32, offsets[dim])
+	fill := make([]int32, dim)
+	for i, r := range rows {
 		for _, f := range r.Indices {
-			if off := offsets[f] + fill[f]; off < offsets[f+1] {
-				rows[off] = int32(i)
-				fill[f]++
-			}
+			out[offsets[f]+fill[f]] = int32(i)
+			fill[f]++
 		}
 	}
-	return &candIndex{offsets: offsets, rows: rows, maxDF: maxDF}
+	return &candIndex{
+		csrRows: int32(n),
+		offsets: offsets,
+		rows:    out,
+		nnz:     nnz,
+		maxDF:   resolveMaxDF(dim, n, nnz, frac),
+	}
+}
+
+// extend returns a new index covering all[:n] by sharing the receiver's CSR
+// arrays and growing the tail map. The receiver stays valid for concurrent
+// probes: shared tail slices are appended copy-on-write, and the stop-word
+// cap is re-derived for the grown row count so the result matches a
+// from-scratch build over all[:n] candidate-for-candidate.
+func (ix *candIndex) extend(dim int, all []vec.Sparse, n int, frac float64) *candIndex {
+	nnz := ix.nnz
+	grown := make(map[int32][]int32)
+	for i := int(ix.total()); i < n; i++ {
+		for _, f := range all[i].Indices {
+			grown[f] = append(grown[f], int32(i))
+		}
+		nnz += int64(len(all[i].Indices))
+	}
+	tail := make(map[int32][]int32, len(ix.tail)+len(grown))
+	for f, t := range ix.tail {
+		tail[f] = t
+	}
+	for f, g := range grown {
+		t := tail[f]
+		tail[f] = append(t[:len(t):len(t)], g...)
+	}
+	return &candIndex{
+		csrRows:  ix.csrRows,
+		offsets:  ix.offsets,
+		rows:     ix.rows,
+		tail:     tail,
+		tailRows: int32(n) - ix.csrRows,
+		nnz:      nnz,
+		maxDF:    resolveMaxDF(dim, n, nnz, frac),
+	}
 }
 
 // appendRow appends row i's candidate pairs (j, i), j < i, to cands in
@@ -81,20 +148,35 @@ func buildCandIndex(ds *vec.Dataset, frac float64) *candIndex {
 // per-feature scan replays the old incremental build exactly: only the first
 // maxDF rows of a feature were ever indexed, and a feature already carried
 // by more than maxDF earlier rows is stop-worded for row i — detectable in
-// O(1) because postings are ascending and truncated at maxDF+1 entries.
+// O(1) because the merged CSR+tail postings are ascending, so the occurrence
+// at position maxDF tells whether the cap was hit before row i.
 func (ix *candIndex) appendRow(i int32, indices []int32, sc *probeScratch, cands []candidate) []candidate {
 	sc.gen++
 	gen := sc.gen
 	for _, f := range indices {
 		off, end := ix.offsets[f], ix.offsets[f+1]
-		if end-off > ix.maxDF {
-			if ix.rows[off+ix.maxDF] < i {
+		cnt := end - off
+		t := ix.tail[f]
+		limit := cnt + int32(len(t))
+		if limit > ix.maxDF {
+			var atCap int32
+			if ix.maxDF < cnt {
+				atCap = ix.rows[off+ix.maxDF]
+			} else {
+				atCap = t[ix.maxDF-cnt]
+			}
+			if atCap < i {
 				continue // stop-worded before row i was reached
 			}
-			end = off + ix.maxDF
+			limit = ix.maxDF
 		}
-		for k := off; k < end; k++ {
-			j := ix.rows[k]
+		for k := int32(0); k < limit; k++ {
+			var j int32
+			if k < cnt {
+				j = ix.rows[off+k]
+			} else {
+				j = t[k-cnt]
+			}
 			if j >= i {
 				break
 			}
@@ -126,14 +208,43 @@ type probeScratch struct {
 // flushed batch can replay counters and progress callbacks in row order.
 type rowMark struct{ row, end int }
 
-// candidateIndex returns the cache's persistent candidate index, building it
-// on the first probe. Concurrent probes share one build.
+// candidateIndex returns a candidate index covering exactly ds's rows,
+// reusing, extending, or rebuilding the cache's published index as needed.
+// Concurrent probes coordinate through idxMu; the published pointer only
+// ever moves forward (to an index covering at least as many rows), so a
+// probe holding an older dataset view never tears down a newer index — it
+// builds a private one and leaves the published index alone.
 func (c *Cache) candidateIndex(ds *vec.Dataset) *candIndex {
-	c.idxOnce.Do(func() {
-		c.idx = buildCandIndex(ds, c.Params.MaxDFFrac)
-	})
-	return c.idx
+	n := ds.N()
+	if cur := c.idx.Load(); cur != nil && cur.total() == int32(n) {
+		return cur
+	}
+	c.idxMu.Lock()
+	defer c.idxMu.Unlock()
+	cur := c.idx.Load()
+	if cur != nil && cur.total() == int32(n) {
+		return cur
+	}
+	var next *candIndex
+	growing := cur != nil && int(cur.total()) < n
+	if growing && !cur.shouldRebuild(n) {
+		next = cur.extend(ds.Dim, ds.Rows, n, c.Params.MaxDFFrac)
+	} else {
+		next = buildCandIndex(ds.Dim, ds.Rows[:n], c.Params.MaxDFFrac)
+		if growing {
+			c.idxRebuilds.Add(1)
+		}
+	}
+	if cur == nil || next.total() >= cur.total() {
+		c.idx.Store(next)
+	}
+	return next
 }
+
+// IndexRebuilds returns how many times appended rows forced a full rebuild
+// of the candidate index (tail extensions and the initial build don't
+// count) — the plasmad `indexRebuilds` metric.
+func (c *Cache) IndexRebuilds() int64 { return c.idxRebuilds.Load() }
 
 // getScratch checks a probe working set out of the cache's pool, sized for
 // the dataset. Warm probes get the previous probe's buffers back.

@@ -15,7 +15,7 @@ import (
 // and returns each row's candidates in generation order. The persistent
 // CSR index must reproduce this bit-for-bit.
 func oldCandidateRows(ds *vec.Dataset, frac float64) [][]candidate {
-	maxDF := int(resolveMaxDF(ds, frac))
+	maxDF := int(resolveMaxDF(ds.Dim, ds.N(), int64(ds.Nnz()), frac))
 	postings := make(map[int32][]int32, ds.Dim)
 	df := make(map[int32]int, ds.Dim)
 	mark := make([]int32, ds.N())
@@ -69,7 +69,7 @@ func TestCandIndexMatchesIncrementalBuild(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			want := oldCandidateRows(tc.ds, tc.frac)
-			idx := buildCandIndex(tc.ds, tc.frac)
+			idx := buildCandIndex(tc.ds.Dim, tc.ds.Rows, tc.frac)
 			sc := &probeScratch{seen: make([]int64, tc.ds.N())}
 			for i := 0; i < tc.ds.N(); i++ {
 				got := idx.appendRow(int32(i), tc.ds.Rows[i].Indices, sc, nil)
@@ -90,13 +90,13 @@ func TestCandIndexBuiltOnceAndReused(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	ds := randomSparseDS(rng, 150, 60)
 	c := NewCache(ds, DefaultParams(), 42)
-	if c.idx != nil {
+	if c.idx.Load() != nil {
 		t.Fatal("index must not be built before the first probe")
 	}
 	if _, err := Search(ds, 0.5, c, nil); err != nil {
 		t.Fatal(err)
 	}
-	first := c.idx
+	first := c.idx.Load()
 	if first == nil {
 		t.Fatal("first probe must build the index")
 	}
@@ -111,7 +111,7 @@ func TestCandIndexBuiltOnceAndReused(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if c.idx != first {
+	if c.idx.Load() != first {
 		t.Error("later probes must reuse the first probe's index")
 	}
 }

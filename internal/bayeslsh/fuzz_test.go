@@ -1,0 +1,58 @@
+package bayeslsh
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeSnapshot feeds arbitrary bytes to the cache snapshot decoder.
+// The decoder is the trust boundary for warm starts and over-the-wire
+// restores, so it must never panic or over-allocate, and anything it does
+// accept must re-encode canonically: encode(decode(x)) is a fixed point.
+func FuzzDecodeSnapshot(f *testing.F) {
+	// Seed with a real probed snapshot (populated pair store), a truncation,
+	// a bare magic, and junk. The corpus in testdata/fuzz adds mutated
+	// headers found by earlier runs.
+	ds := snapDataset(12)
+	c := NewCache(ds, DefaultParams(), 1)
+	if _, err := SearchWorkers(ds, 0.7, c, nil, 1); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.EncodeSnapshot(&buf); err != nil {
+		f.Fatal(err)
+	}
+	full := bytes.Clone(buf.Bytes())
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add([]byte("PLHDKCSN"))
+	f.Add([]byte("not a snapshot"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dc, err := DecodeSnapshot(bytes.NewReader(data))
+		if err != nil {
+			if dc != nil {
+				t.Fatal("DecodeSnapshot returned both a cache and an error")
+			}
+			return
+		}
+		// A stream the decoder accepts may be non-canonical (shard entries
+		// out of order but CRC-consistent), so compare re-encodings of the
+		// decoded cache, not the input bytes.
+		var out bytes.Buffer
+		if err := dc.EncodeSnapshot(&out); err != nil {
+			t.Fatalf("re-encode of accepted snapshot: %v", err)
+		}
+		dc2, err := DecodeSnapshot(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding: %v", err)
+		}
+		var out2 bytes.Buffer
+		if err := dc2.EncodeSnapshot(&out2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatalf("encoding is not a fixed point: %d vs %d bytes", out.Len(), out2.Len())
+		}
+	})
+}

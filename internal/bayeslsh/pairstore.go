@@ -1,6 +1,9 @@
 package bayeslsh
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // pairStoreShards is the number of lock stripes in a PairStore. 128 stripes
 // keep contention negligible for any worker count a single machine can run
@@ -114,4 +117,27 @@ func (s *PairStore) RangeShard(shard int, f func(key uint64, ps PairState)) {
 		f(k, ps)
 	}
 	sh.mu.RUnlock()
+}
+
+// RangeShardSorted is RangeShard in ascending key order: the shard's entries
+// are copied out under the read lock, sorted, then visited. Use it where the
+// visit order feeds float accumulation — Go's random map order would make
+// the last ulp of such sums vary run to run, and curve evaluation must be
+// bit-reproducible (the differential ingest harness compares it exactly).
+func (s *PairStore) RangeShardSorted(shard int, f func(key uint64, ps PairState)) {
+	type entry struct {
+		k  uint64
+		ps PairState
+	}
+	sh := &s.shards[shard]
+	sh.mu.RLock()
+	entries := make([]entry, 0, len(sh.m))
+	for k, ps := range sh.m {
+		entries = append(entries, entry{k, ps})
+	}
+	sh.mu.RUnlock()
+	sort.Slice(entries, func(a, b int) bool { return entries[a].k < entries[b].k })
+	for _, e := range entries {
+		f(e.k, e.ps)
+	}
 }

@@ -18,10 +18,14 @@ import (
 // stream:
 //
 //	magic   "PLHDKCSN"                       (8 bytes)
-//	version uint16                           (currently 1)
-//	payload params, seed, measure, N, sketch time, sketches,
+//	version uint16                           (currently 2)
+//	payload params, seed, measure, N, dim, sketch time, sketches,
 //	        pair store shard-by-shard (entries sorted by key)
 //	crc     uint32 (Castagnoli) over magic+version+payload
+//
+// Version 2 (live ingest) added the feature-space dimension after the row
+// count, so a restored cache can rebuild its SRP sketcher and keep accepting
+// appended rows.
 //
 // All integers are little-endian fixed width. Encoding is deterministic:
 // the same cache state always produces the same bytes, because pair entries
@@ -34,7 +38,7 @@ import (
 var cacheSnapMagic = [8]byte{'P', 'L', 'H', 'D', 'K', 'C', 'S', 'N'}
 
 // CacheSnapshotVersion is the current cache snapshot format version.
-const CacheSnapshotVersion uint16 = 1
+const CacheSnapshotVersion uint16 = 2
 
 // Typed snapshot decode failures; all are wrapped with context, match with
 // errors.Is.
@@ -185,11 +189,16 @@ func (sr *snapReader) verifyCRC() error {
 
 // EncodeSnapshot serializes the cache — params, seed, sketches, and the
 // pair store shard-by-shard — to w in the versioned binary snapshot format.
-// It is safe to call while probes are in flight: the sketches are immutable
-// and each pair-store stripe is captured under its read lock, so the
-// snapshot sees a consistent monotone prefix of the cache's evidence.
-// Encoding is deterministic for a quiescent cache.
+// It is safe to call while probes or appends are in flight: the row view is
+// captured atomically, appends are held off for the duration (so no probe
+// can write pairs beyond the encoded row count), and each pair-store stripe
+// is captured under its read lock — the snapshot sees a consistent monotone
+// prefix of the cache's evidence. Encoding is deterministic for a quiescent
+// cache.
 func (c *Cache) EncodeSnapshot(w io.Writer) error {
+	c.appendMu.Lock()
+	defer c.appendMu.Unlock()
+	v := c.rows()
 	sw := newSnapWriter(w)
 	sw.bytes(cacheSnapMagic[:])
 	sw.u16(CacheSnapshotVersion)
@@ -209,23 +218,24 @@ func (c *Cache) EncodeSnapshot(w io.Writer) error {
 	sw.u32(uint32(p.Workers))
 	sw.i64(c.Seed)
 	sw.u8(uint8(c.Measure))
-	sw.u32(uint32(c.N))
+	sw.u32(uint32(v.n))
+	sw.u32(uint32(c.dim))
 	sw.i64(int64(c.SketchTime))
 
-	if c.minSigs != nil {
+	if v.minSigs != nil {
 		sw.u8(sketchKindMinhash)
-		for _, sig := range c.minSigs {
+		for _, sig := range v.minSigs {
 			sw.u32(uint32(len(sig)))
-			for _, v := range sig {
-				sw.u32(v)
+			for _, x := range sig {
+				sw.u32(x)
 			}
 		}
 	} else {
 		sw.u8(sketchKindSRP)
-		for _, sig := range c.srpSigs {
+		for _, sig := range v.srpSigs {
 			sw.u32(uint32(len(sig)))
-			for _, v := range sig {
-				sw.u64(v)
+			for _, x := range sig {
+				sw.u64(x)
 			}
 		}
 	}
@@ -303,6 +313,7 @@ func DecodeSnapshot(r io.Reader) (*Cache, error) {
 	seed := sr.i64()
 	measure := vec.Measure(sr.u8())
 	n := int(sr.u32())
+	dim := int(sr.u32())
 	sketchTime := time.Duration(sr.i64())
 	if sr.err != nil {
 		return nil, sr.err
@@ -319,6 +330,9 @@ func DecodeSnapshot(r io.Reader) (*Cache, error) {
 	if n < 0 || n > maxSnapRows {
 		sr.corrupt("row count %d out of range", n)
 	}
+	if dim < 1 || dim > maxSnapRows {
+		sr.corrupt("dimension %d out of range", dim)
+	}
 	if sr.err != nil {
 		return nil, sr.err
 	}
@@ -326,7 +340,8 @@ func DecodeSnapshot(r io.Reader) (*Cache, error) {
 	c := &Cache{
 		Params:     p,
 		Measure:    measure,
-		N:          n,
+		n:          n,
+		dim:        dim,
 		Seed:       seed,
 		Pairs:      NewPairStore(),
 		SketchTime: sketchTime,

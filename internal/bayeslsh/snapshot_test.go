@@ -102,7 +102,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if restored.N != c.N || restored.Seed != c.Seed ||
+				if restored.Rows() != c.Rows() || restored.Dim() != c.Dim() || restored.Seed != c.Seed ||
 					restored.Measure != c.Measure || restored.Params != c.Params {
 					t.Fatalf("header mismatch: %+v vs %+v", restored, c)
 				}
@@ -237,6 +237,7 @@ func TestSnapshotHugeDeclaredCounts(t *testing.T) {
 		sw.i64(7)                // seed
 		sw.u8(uint8(tc.measure)) // measure
 		sw.u32(maxSnapRows)      // declared rows: in-bounds but absurd
+		sw.u32(24)               // dim
 		sw.i64(0)                // sketch time
 		sw.u8(tc.kind)
 		// The stream ends here: none of the declared rows exist.
@@ -274,6 +275,7 @@ func TestSnapshotRejectsRaggedSignatures(t *testing.T) {
 		sw.i64(7) // seed
 		sw.u8(uint8(measure))
 		sw.u32(uint32(len(sigLens))) // rows
+		sw.u32(24)                   // dim
 		sw.i64(0)                    // sketch time
 		sw.u8(kind)
 		for _, ln := range sigLens {

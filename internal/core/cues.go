@@ -71,16 +71,20 @@ func (cs *CueSet) Components() int {
 // while keeping at most 8 materialized graphs alive.
 const cueCacheSize = 8
 
-// cueKey identifies one cached CueSet. pairs and probes fingerprint the
-// knowledge cache's state at build time: a probe that grows the pair store
-// changes pairs, and a probe that only deepens existing evidence (every
-// probe after the first generates the same candidate set, so the store
-// stops growing) still bumps probes — either way the stale graph misses and
-// is rebuilt.
+// cueKey identifies one cached CueSet. pairs, probes, and rows fingerprint
+// the session's state at build time: a probe that grows the pair store
+// changes pairs, a probe that only deepens existing evidence (every probe
+// after the first generates the same candidate set, so the store stops
+// growing) still bumps probes, and an append that adds rows — even one that
+// has not yet produced a single new pair — changes rows, so the graph's
+// vertex count can never go stale. (Without rows, an append followed by a
+// cue read would serve the pre-append graph: same pairs, same probe count,
+// wrong vertex set.)
 type cueKey struct {
 	t      float64
 	pairs  int
 	probes int
+	rows   int
 }
 
 // cueEntry is one LRU slot; once coalesces concurrent builders of the same
@@ -96,7 +100,8 @@ type cueEntry struct {
 // polling one threshold — are served from the cache; any completed probe
 // invalidates by construction of the key.
 func (s *Session) CueSet(t float64) *CueSet {
-	key := cueKey{t: t, pairs: s.Cache.Pairs.Len(), probes: s.ProbeCount()}
+	ds := s.Dataset()
+	key := cueKey{t: t, pairs: s.Cache.Pairs.Len(), probes: s.ProbeCount(), rows: ds.N()}
 	s.cueMu.Lock()
 	if s.cues == nil {
 		s.cues = make(map[cueKey]*cueEntry, cueCacheSize)
@@ -123,7 +128,7 @@ func (s *Session) CueSet(t float64) *CueSet {
 	}
 	s.cueMu.Unlock()
 	e.once.Do(func() {
-		e.cs = &CueSet{Threshold: t, g: s.buildThresholdGraph(t)}
+		e.cs = &CueSet{Threshold: t, g: s.buildThresholdGraph(t, ds.N())}
 	})
 	return e.cs
 }
@@ -132,14 +137,20 @@ func (s *Session) CueSet(t float64) *CueSet {
 // the knowledge cache alone — no access to the source data D, as required
 // for the interactive cue loop of Fig 2.1. Pairs carry their MAP estimates;
 // pairs never examined contribute no edge.
-func (s *Session) buildThresholdGraph(t float64) *graph.Graph {
+// The vertex count is pinned by the caller (the cue key's rows field), so a
+// concurrent append cannot shift the graph under a coalesced build; pairs a
+// concurrent post-append probe may already have written beyond that count
+// are filtered out, keeping the graph consistent with its own vertex set.
+func (s *Session) buildThresholdGraph(t float64, n int) *graph.Graph {
 	var edges [][2]int32
 	s.Cache.Pairs.Range(func(key uint64, ps bayeslsh.PairState) bool {
 		if s.Cache.Estimate(ps) >= t {
 			i, j := bayeslsh.UnpackKey(key)
-			edges = append(edges, [2]int32{i, j})
+			if int(j) < n {
+				edges = append(edges, [2]int32{i, j})
+			}
 		}
 		return true
 	})
-	return graph.FromEdges(s.DS.N(), edges)
+	return graph.FromEdges(n, edges)
 }

@@ -25,20 +25,35 @@ import (
 // Fig 2.1 (probe at t1 → inspect estimates and cues → choose next t).
 //
 // A Session is safe for concurrent use: Probe calls may overlap (they share
-// the knowledge cache, whose pair evidence only grows under concurrency)
-// and the curve/cue readers may run while probes are in flight. Determinism
-// is per probe: a single probe returns identical results for any worker
-// count, while overlapping probes may leave the cache with more evidence
-// than a serial schedule would — never less.
+// the knowledge cache, whose pair evidence only grows under concurrency),
+// the curve/cue readers may run while probes are in flight, and AppendRows
+// may land between or during probes (appends are serialized; each probe
+// captures one dataset view at its start, so it sees either the pre- or
+// post-append state, never a torn one). Determinism is per probe: a single
+// probe returns identical results for any worker count, while overlapping
+// probes may leave the cache with more evidence than a serial schedule
+// would — never less.
 type Session struct {
-	DS    *vec.Dataset
+	// ds is the current dataset view; appends publish a grown view
+	// atomically (rows are shared with the old view, never mutated).
+	ds    atomic.Pointer[vec.Dataset]
 	Cache *bayeslsh.Cache
 
 	// Spec, when non-zero, is the registry recipe the dataset was loaded
 	// from. Snapshot embeds it so RestoreSession can rehydrate the session
 	// from the spec alone; sessions over ad-hoc data leave it zero (the
-	// snapshot then embeds the data itself).
+	// snapshot then embeds the data itself). A grown session always embeds:
+	// appended rows are not reproducible from the spec.
 	Spec dataset.Spec
+
+	// appendMu serializes AppendRows calls with each other and with
+	// Snapshot, so a snapshot never captures a half-published append (cache
+	// grown, dataset view not yet swapped).
+	appendMu sync.Mutex
+	// appendEpoch counts completed append batches; it rides along in
+	// session snapshots so a warm restart of a grown session snapshots
+	// byte-identically to the session it was saved from.
+	appendEpoch atomic.Int64
 
 	mu     sync.Mutex // guards probes
 	probes []ProbeRecord
@@ -53,6 +68,45 @@ type Session struct {
 	// signal surfaced on plasmad's /metrics.
 	cueHits   atomic.Int64
 	cueMisses atomic.Int64
+}
+
+// Dataset returns the session's current dataset view. The view is immutable
+// — appends publish a new one — so callers may iterate it without locking;
+// long computations should capture it once and use that view throughout.
+func (s *Session) Dataset() *vec.Dataset { return s.ds.Load() }
+
+// AppendEpoch returns how many append batches the session has absorbed.
+func (s *Session) AppendEpoch() int64 { return s.appendEpoch.Load() }
+
+// AppendRows grows the session by a batch of new rows: the cache sketches
+// them through the hash family it was built with, then a grown dataset view
+// is published. Rows must be in final form — validated, and L2-normalized
+// for cosine data — exactly as the rows the session was created over; the
+// server layer owns that normalization, mirroring its dataset-create path,
+// which is what makes a grown session bit-identical to one created from the
+// full data. The cache is grown before the view is published, so a probe
+// slipping in between sees the old view against a slightly larger cache —
+// a valid prefix probe. Returns the batch's sketch wall time.
+func (s *Session) AppendRows(rows []vec.Sparse) (time.Duration, error) {
+	if len(rows) == 0 {
+		return 0, nil
+	}
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	d, err := s.Cache.AppendRows(rows)
+	if err != nil {
+		return 0, err
+	}
+	old := s.ds.Load()
+	grown := &vec.Dataset{
+		Name:    old.Name,
+		Dim:     old.Dim,
+		Measure: old.Measure,
+		Rows:    append(old.Rows[:len(old.Rows):len(old.Rows)], rows...),
+	}
+	s.ds.Store(grown)
+	s.appendEpoch.Add(1)
+	return d, nil
 }
 
 // CueCacheStats reports how many CueSet lookups hit the memoized LRU and
@@ -70,7 +124,9 @@ type ProbeRecord struct {
 // NewSession sketches the dataset (the one-time start-up cost of Fig 2.9)
 // and returns a session with an empty knowledge cache.
 func NewSession(ds *vec.Dataset, p bayeslsh.Params, seed int64) *Session {
-	return &Session{DS: ds, Cache: bayeslsh.NewCache(ds, p, seed)}
+	s := &Session{Cache: bayeslsh.NewCache(ds, p, seed)}
+	s.ds.Store(ds)
+	return s
 }
 
 // Probe runs an all-pairs similarity probe at threshold t, extending the
@@ -92,7 +148,7 @@ func (s *Session) ProbeWorkers(t float64, workers int) (*bayeslsh.Result, error)
 }
 
 func (s *Session) probe(t float64, progress bayeslsh.ProgressFunc, workers int) (*bayeslsh.Result, error) {
-	res, err := bayeslsh.SearchWorkers(s.DS, t, s.Cache, progress, workers)
+	res, err := bayeslsh.SearchWorkers(s.Dataset(), t, s.Cache, progress, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -137,15 +193,17 @@ func (s *Session) CumulativeAPSS(grid []float64) []CurvePoint {
 		points[k].Threshold = t
 	}
 	// Fan out over the pair store's stripes; partial sums are kept per
-	// stripe and reduced in stripe order so the float accumulation order
-	// does not depend on the worker count.
+	// stripe and reduced in stripe order, and each stripe is visited in key
+	// order, so the float accumulation order depends on neither the worker
+	// count nor Go's random map iteration — curve points are bit-identical
+	// across runs and across grown-vs-scratch sessions with equal stores.
 	type partial struct{ est, varsum []float64 }
 	store := s.Cache.Pairs
 	partials := make([]partial, store.Shards())
 	eachShard(store.Shards(), s.Cache.Params.WorkerCount(), func(sh int) {
 		est := make([]float64, len(grid))
 		varsum := make([]float64, len(grid))
-		store.RangeShard(sh, func(_ uint64, ps bayeslsh.PairState) {
+		store.RangeShardSorted(sh, func(_ uint64, ps bayeslsh.PairState) {
 			for k, t := range grid {
 				p := s.Cache.ProbAbove(ps, t)
 				est[k] += p
@@ -370,7 +428,7 @@ type IncrementalSnapshot struct {
 // snapshot interval. After k of n rows, all pairs within the first k rows
 // have been decided, so the full-data estimate scales by C(n,2)/C(k,2).
 func (s *Session) ProbeIncremental(t1 float64, targets []float64, snapshots int) ([]IncrementalSnapshot, error) {
-	n := s.DS.N()
+	n := s.Dataset().N()
 	if snapshots < 1 {
 		snapshots = 10
 	}

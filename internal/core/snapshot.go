@@ -22,11 +22,19 @@ import (
 // nothing but the decode. The stream is versioned and checksummed:
 //
 //	magic   "PLHDSESS"                      (8 bytes)
-//	version uint16                          (currently 1)
+//	version uint16                          (currently 2)
 //	payload dataset.Spec (binary codec), optionally the dataset itself
-//	        (for sessions over uploaded data that no spec can rebuild),
-//	        the probe records, and the bayeslsh cache snapshot
+//	        (for sessions over uploaded data that no spec can rebuild,
+//	        and for grown sessions whose appended rows no spec covers),
+//	        the append epoch, the probe records, and the bayeslsh cache
+//	        snapshot
 //	crc     uint32 (Castagnoli) over magic+version+payload
+//
+// Version 2 (live ingest) added the append epoch after the dataset hash and
+// widened the embed rule: a session that has absorbed appends embeds its
+// dataset even when it has a spec, because the spec only reproduces the
+// original rows. A warm restart of a grown session is byte-identical: its
+// re-snapshot reproduces the saved bytes exactly.
 //
 // RestoreSession validates the decoded cache against the dataset it will
 // probe (row count and measure); a mismatch is a typed error, never a
@@ -36,7 +44,7 @@ import (
 var sessSnapMagic = [8]byte{'P', 'L', 'H', 'D', 'S', 'E', 'S', 'S'}
 
 // SessionSnapshotVersion is the current session snapshot format version.
-const SessionSnapshotVersion uint16 = 1
+const SessionSnapshotVersion uint16 = 2
 
 // Typed session-snapshot failures.
 var (
@@ -348,11 +356,16 @@ func decodeDataset(sr *sessReader) *vec.Dataset {
 }
 
 // Snapshot serializes the session — dataset spec (or the data itself when
-// no spec exists), probe records, and the full knowledge cache — to w.
-// It is safe to call while probes are in flight; the snapshot captures a
-// consistent monotone prefix of the cache's evidence and whatever probes
-// had completed when it started.
+// no spec exists or appends have outgrown it), the append epoch, probe
+// records, and the full knowledge cache — to w. It is safe to call while
+// probes or appends are in flight: appends are held off for the duration
+// (appendMu, same order as AppendRows takes it), so the dataset view, the
+// epoch, and the cache rows are captured consistently; probes contribute a
+// monotone prefix of evidence as before.
 func (s *Session) Snapshot(w io.Writer) error {
+	s.appendMu.Lock()
+	defer s.appendMu.Unlock()
+	ds := s.Dataset()
 	probes := s.ProbeRecords()
 
 	sw := newSessWriter(w)
@@ -370,14 +383,17 @@ func (s *Session) Snapshot(w io.Writer) error {
 	sw.blob(specBlob)
 
 	// Sessions without a spec embed the dataset so they can be rehydrated
-	// from the snapshot alone (uploaded data has no recipe to replay).
-	if s.Spec.IsZero() {
+	// from the snapshot alone (uploaded data has no recipe to replay), and
+	// so do grown sessions: replaying the spec would reproduce only the
+	// original rows, never the appended ones.
+	if s.Spec.IsZero() || s.appendEpoch.Load() > 0 {
 		sw.u8(1)
-		encodeDataset(sw, s.DS)
+		encodeDataset(sw, ds)
 	} else {
 		sw.u8(0)
 	}
-	sw.u64(datasetHash(s.DS))
+	sw.u64(datasetHash(ds))
+	sw.u32(uint32(s.appendEpoch.Load()))
 
 	sw.u32(uint32(len(probes)))
 	for _, pr := range probes {
@@ -445,6 +461,7 @@ func RestoreSession(r io.Reader, ds *vec.Dataset) (*Session, error) {
 		embedded = decodeDataset(sr)
 	}
 	wantHash := sr.u64()
+	appendEpoch := int64(sr.u32())
 	if sr.err != nil {
 		return nil, sr.err
 	}
@@ -505,8 +522,8 @@ func RestoreSession(r io.Reader, ds *vec.Dataset) (*Session, error) {
 			// generation cost: the snapshot records the row count the cache
 			// was built over, and for kinds where the spec determines the
 			// row count exactly a disagreement is already a mismatch.
-			if rows, ok := spec.ExpectedRows(); ok && rows != cache.N {
-				return nil, &SnapshotMismatchError{Field: "rows", Snapshot: cache.N, Dataset: rows}
+			if rows, ok := spec.ExpectedRows(); ok && rows != cache.Rows() {
+				return nil, &SnapshotMismatchError{Field: "rows", Snapshot: cache.Rows(), Dataset: rows}
 			}
 			ds, err = dataset.Load(spec)
 			if err != nil {
@@ -517,14 +534,14 @@ func RestoreSession(r io.Reader, ds *vec.Dataset) (*Session, error) {
 		}
 	}
 
-	if ds.N() != cache.N {
-		return nil, &SnapshotMismatchError{Field: "rows", Snapshot: cache.N, Dataset: ds.N()}
+	if ds.N() != cache.Rows() {
+		return nil, &SnapshotMismatchError{Field: "rows", Snapshot: cache.Rows(), Dataset: ds.N()}
 	}
 	if ds.Measure != cache.Measure {
 		return nil, &SnapshotMismatchError{Field: "measure", Snapshot: cache.Measure.String(), Dataset: ds.Measure.String()}
 	}
-	if embedded != nil && ds != embedded && ds.Dim != embedded.Dim {
-		return nil, &SnapshotMismatchError{Field: "dim", Snapshot: embedded.Dim, Dataset: ds.Dim}
+	if ds.Dim != cache.Dim() {
+		return nil, &SnapshotMismatchError{Field: "dim", Snapshot: cache.Dim(), Dataset: ds.Dim}
 	}
 	// Content check: a dataset of the right shape but different vectors
 	// (a registry generator that changed across versions, a different
@@ -537,5 +554,8 @@ func RestoreSession(r io.Reader, ds *vec.Dataset) (*Session, error) {
 		}
 	}
 
-	return &Session{DS: ds, Cache: cache, Spec: spec, probes: probes}, nil
+	s := &Session{Cache: cache, Spec: spec, probes: probes}
+	s.ds.Store(ds)
+	s.appendEpoch.Store(appendEpoch)
+	return s, nil
 }

@@ -129,10 +129,11 @@ func TestSessionSnapshotEmbedsUploadedData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if restored.DS.Name != "uploaded" || restored.DS.N() != ds.N() || restored.DS.Dim != ds.Dim {
-		t.Fatalf("restored dataset %s %dx%d", restored.DS.Name, restored.DS.N(), restored.DS.Dim)
+	rds := restored.Dataset()
+	if rds.Name != "uploaded" || rds.N() != ds.N() || rds.Dim != ds.Dim {
+		t.Fatalf("restored dataset %s %dx%d", rds.Name, rds.N(), rds.Dim)
 	}
-	for i, row := range restored.DS.Rows {
+	for i, row := range rds.Rows {
 		for k := range row.Values {
 			if row.Values[k] != ds.Rows[i].Values[k] || row.Indices[k] != ds.Rows[i].Indices[k] {
 				t.Fatalf("row %d entry %d differs after restore", i, k)

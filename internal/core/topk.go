@@ -20,10 +20,15 @@ func (s *Session) KNNGraph(k int) *graph.Graph {
 		j   int32
 		est float64
 	}
-	neigh := make([][]scored, s.DS.N())
+	n := s.Dataset().N()
+	neigh := make([][]scored, n)
 	s.Cache.Pairs.Range(func(key uint64, ps bayeslsh.PairState) bool {
 		est := s.Cache.Estimate(ps)
 		i, j := bayeslsh.UnpackKey(key)
+		if int(j) >= n {
+			// Written by a concurrent probe that already saw appended rows.
+			return true
+		}
 		neigh[i] = append(neigh[i], scored{j, est})
 		neigh[j] = append(neigh[j], scored{i, est})
 		return true
@@ -45,7 +50,7 @@ func (s *Session) KNNGraph(k int) *graph.Graph {
 			edges = append(edges, [2]int32{int32(v), sc.j})
 		}
 	}
-	return graph.FromEdges(s.DS.N(), edges)
+	return graph.FromEdges(n, edges)
 }
 
 // KNNThresholdEquivalent reports, for a given K, the similarity of the
@@ -54,11 +59,15 @@ func (s *Session) KNNGraph(k int) *graph.Graph {
 // Its spread is the §2.5 argument for top-K formation: a single global t
 // cannot serve all vertices.
 func (s *Session) KNNThresholdEquivalent(k int) []float64 {
-	weakest := make([]float64, 0, s.DS.N())
-	kth := make([][]float64, s.DS.N())
+	n := s.Dataset().N()
+	weakest := make([]float64, 0, n)
+	kth := make([][]float64, n)
 	s.Cache.Pairs.Range(func(key uint64, ps bayeslsh.PairState) bool {
 		est := s.Cache.Estimate(ps)
 		i, j := bayeslsh.UnpackKey(key)
+		if int(j) >= n {
+			return true
+		}
 		kth[i] = append(kth[i], est)
 		kth[j] = append(kth[j], est)
 		return true

@@ -99,6 +99,11 @@ func NewSRP(bits, dim int, seed int64) *SRP {
 	return &SRP{Bits: bits, seed: uint64(seed), dim: dim, dirs: make([]atomic.Pointer[[]float32], dim)}
 }
 
+// Dim returns the vector dimension the sketcher was built for. Rows sketched
+// by this SRP must keep their indices below Dim; the incremental-ingest path
+// uses it to rebuild an equivalent sketcher from a restored cache.
+func (s *SRP) Dim() int { return s.dim }
+
 // gaussRow generates the cached Gaussian coordinates for dimension d.
 func (s *SRP) gaussRow(d int) []float32 {
 	if p := s.dirs[d].Load(); p != nil {

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// FuzzAppendRowsBody throws arbitrary request bodies at the live-ingest
+// endpoint. The handler parses attacker-controlled JSON into the hot append
+// path, so whatever arrives must resolve to a clean HTTP status — never a
+// panic, a 500, or a half-applied append.
+func FuzzAppendRowsBody(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"dense":[[1,0,0,0,0,0,0,0]]}`),
+		[]byte(`{"dense":[[0.5,0.5],[0,1]]}`),
+		[]byte(`{"sparse":[{"indices":[0,3],"values":[1,2]}]}`),
+		[]byte(`{"sparse":[{"indices":[2]}]}`),
+		[]byte(`{"dense":[],"sparse":[]}`),
+		[]byte(`{"dense":[[1e308,-1e308,0,0,0,0,0,0]]}`),
+		[]byte(`{"sparse":[{"indices":[3,1],"values":[1,1]}]}`),
+		[]byte(`{`),
+		[]byte(`null`),
+		[]byte(``),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	srv := New(Config{Capacity: 4, RequestTimeout: 30 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(ts.Close)
+	client := ts.Client()
+
+	mkSession := func() string {
+		body := []byte(`{"name":"fuzz","measure":"cosine","dense":[[1,0,0,0,0,0,0,0],[0,1,0,0,0,0,0,0]]}`)
+		resp, err := client.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(body))
+		if err != nil {
+			f.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			f.Fatalf("create fuzz session: status %d", resp.StatusCode)
+		}
+		var info sessionInfo
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			f.Fatal(err)
+		}
+		return info.ID
+	}
+	id := mkSession()
+	grown := 0
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if len(body) > 4096 {
+			t.Skip("body cap: large inputs only slow the fuzzer down")
+		}
+		resp, err := client.Post(ts.URL+"/v1/sessions/"+id+"/rows", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		default:
+			t.Fatalf("status %d for body %q", resp.StatusCode, body)
+		}
+		// Successful appends accumulate; recycle the session before the row
+		// count makes per-input sketching dominate the fuzz budget.
+		if resp.StatusCode == http.StatusOK {
+			grown++
+			if grown >= 64 {
+				req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+id, nil)
+				dr, err := client.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dr.Body.Close()
+				id = mkSession()
+				grown = 0
+			}
+		}
+	})
+}

@@ -40,6 +40,7 @@ func (s *Server) Routes() []Route {
 		{"GET", "/v1/sessions", "list resident sessions", s.handleListSessions},
 		{"GET", "/v1/sessions/{id}", "one session's summary", s.handleGetSession},
 		{"DELETE", "/v1/sessions/{id}", "delete a session", s.handleDeleteSession},
+		{"POST", "/v1/sessions/{id}/rows", "append rows to the session's dataset, sketched into the live cache", s.handleAppendRows},
 		{"POST", "/v1/sessions/{id}/probe", "run (or join) a probe at a threshold", s.handleProbe},
 		{"POST", "/v1/sessions/{id}/probes", "run a batch of probes at several thresholds in one round trip", s.handleBatchProbe},
 		{"POST", "/v1/sessions/{id}/snapshot", "serialize the session's knowledge cache to a binary snapshot", s.handleSnapshot},
@@ -261,12 +262,13 @@ type sessionInfo struct {
 
 func sessionInfoOf(ms *ManagedSession) sessionInfo {
 	sess := ms.Session
+	ds := sess.Dataset()
 	return sessionInfo{
 		ID:            ms.ID,
-		Dataset:       sess.DS.Name,
-		Rows:          sess.DS.N(),
-		Dim:           sess.DS.Dim,
-		Measure:       sess.DS.Measure.String(),
+		Dataset:       ds.Name,
+		Rows:          ds.N(),
+		Dim:           ds.Dim,
+		Measure:       ds.Measure.String(),
 		Probes:        sess.ProbeCount(),
 		CachedPairs:   sess.CachedPairs(),
 		Thresholds:    sess.Thresholds(),
@@ -275,6 +277,23 @@ func sessionInfoOf(ms *ManagedSession) sessionInfo {
 		CreatedAt:     ms.Created,
 		LastUsedAt:    ms.LastUsed(),
 	}
+}
+
+// appendRowsRequest carries a batch of rows for a live session in exactly
+// one of the two upload shapes. Dense rows may be shorter than the session
+// dimension (trailing zeros); sparse rows follow the create-path contract
+// (strictly increasing indices in [0, dim), omitted values mean all-ones).
+type appendRowsRequest struct {
+	Dense  [][]float64 `json:"dense,omitempty"`
+	Sparse []sparseRow `json:"sparse,omitempty"`
+}
+
+type appendRowsResponse struct {
+	SessionID    string  `json:"sessionId"`
+	Appended     int     `json:"appended"`
+	Rows         int     `json:"rows"` // total rows after the append
+	AppendEpoch  int64   `json:"appendEpoch"`
+	SketchMillis float64 `json:"sketchMillis"` // this batch's sketching cost
 }
 
 // probeRequest triggers one probe.
@@ -542,6 +561,98 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// maxAppendRows caps one append call; larger ingests batch across calls,
+// which is also how the epoch-based index rebuild amortizes best.
+const maxAppendRows = 65536
+
+// handleAppendRows grows a live session: the rows are validated against the
+// session's dimension, sketched incrementally into the knowledge cache (no
+// re-sketch of existing rows), and published to the dataset view. Probes
+// already in flight keep their pinned pre-append view; the next probe sees
+// the grown session. Appended rows get the same per-row normalization as
+// the create path, so a grown session is bitwise-equivalent to one created
+// from the full data up front.
+func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	var req appendRowsRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if (req.Dense != nil) == (req.Sparse != nil) {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "exactly one of dense or sparse must be set")
+		return
+	}
+	count := len(req.Dense) + len(req.Sparse)
+	if count == 0 {
+		s.writeError(w, http.StatusBadRequest, "bad_request", "no rows to append")
+		return
+	}
+	if count > maxAppendRows {
+		s.writeError(w, http.StatusBadRequest, "bad_request",
+			"at most %d rows per append call, got %d", maxAppendRows, count)
+		return
+	}
+	ms, release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	dim := ms.Session.Dataset().Dim
+	rows := make([]vec.Sparse, 0, count)
+	for ri, drow := range req.Dense {
+		if len(drow) > dim {
+			s.writeError(w, http.StatusBadRequest, "bad_request",
+				"dense row %d has %d entries, session dimension is %d", ri, len(drow), dim)
+			return
+		}
+		rows = append(rows, vec.FromDense(drow))
+	}
+	for ri, srow := range req.Sparse {
+		vals := srow.Values
+		if vals == nil {
+			vals = make([]float64, len(srow.Indices))
+			for i := range vals {
+				vals[i] = 1
+			}
+		}
+		if len(vals) != len(srow.Indices) {
+			s.writeError(w, http.StatusBadRequest, "bad_request",
+				"sparse row %d: %d indices but %d values", ri, len(srow.Indices), len(vals))
+			return
+		}
+		for i, ix := range srow.Indices {
+			if ix < 0 || int(ix) >= dim {
+				s.writeError(w, http.StatusBadRequest, "bad_request",
+					"sparse row %d: index %d out of range [0, %d)", ri, ix, dim)
+				return
+			}
+			if i > 0 && srow.Indices[i-1] >= ix {
+				s.writeError(w, http.StatusBadRequest, "bad_request",
+					"sparse row %d: indices must be strictly increasing", ri)
+				return
+			}
+		}
+		rows = append(rows, vec.Sparse{Indices: srow.Indices, Values: vals})
+	}
+	// Same per-row normalization as the create path (vec.NormalizeRows is
+	// row-local), so split ingests stay bitwise-identical to full uploads.
+	for _, row := range rows {
+		row.Normalize()
+	}
+	d, err := ms.Session.AppendRows(rows)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "internal", "append failed: %v", err)
+		return
+	}
+	s.rowsAppended.Add(int64(count))
+	s.writeJSON(w, http.StatusOK, appendRowsResponse{
+		SessionID:    ms.ID,
+		Appended:     count,
+		Rows:         ms.Session.Dataset().N(),
+		AppendEpoch:  ms.Session.AppendEpoch(),
+		SketchMillis: float64(d) / float64(time.Millisecond),
+	})
 }
 
 func (s *Server) handleProbe(w http.ResponseWriter, r *http.Request) {

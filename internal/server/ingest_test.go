@@ -1,0 +1,222 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ingestRows builds a deterministic dense matrix.
+func ingestRows(lo, hi int) [][]float64 {
+	out := make([][]float64, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		row := make([]float64, 8)
+		for d := range row {
+			row[d] = float64((i*7+d*3)%5) * 0.5
+		}
+		row[i%8] += 1 // keep every row nonzero
+		out = append(out, row)
+	}
+	return out
+}
+
+func createDense(t *testing.T, base string, rows [][]float64) sessionInfo {
+	t.Helper()
+	var info sessionInfo
+	st := call(t, "POST", base+"/v1/sessions",
+		map[string]any{"dense": rows, "measure": "cosine", "name": "ingest"}, &info)
+	if st != http.StatusCreated {
+		t.Fatalf("create session: status %d", st)
+	}
+	return info
+}
+
+func probePairs(t *testing.T, base, id string, threshold float64) probeResponse {
+	t.Helper()
+	var resp probeResponse
+	st := call(t, "POST", base+"/v1/sessions/"+id+"/probe",
+		map[string]any{"threshold": threshold, "includePairs": true}, &resp)
+	if st != http.StatusOK {
+		t.Fatalf("probe %s: status %d", id, st)
+	}
+	return resp
+}
+
+// TestAppendRowsEndpoint: the HTTP half of the differential ingest harness.
+// A session grown over the wire must probe identically to one created from
+// the full upload, for both request shapes.
+func TestAppendRowsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 8)
+	full := ingestRows(0, 40)
+
+	grown := createDense(t, ts.URL, full[:25])
+	var ar appendRowsResponse
+	st := call(t, "POST", ts.URL+"/v1/sessions/"+grown.ID+"/rows",
+		map[string]any{"dense": full[25:]}, &ar)
+	if st != http.StatusOK {
+		t.Fatalf("append: status %d", st)
+	}
+	if ar.Appended != 15 || ar.Rows != 40 || ar.AppendEpoch != 1 {
+		t.Fatalf("append response %+v, want 15 appended, 40 rows, epoch 1", ar)
+	}
+
+	var info sessionInfo
+	if st := call(t, "GET", ts.URL+"/v1/sessions/"+grown.ID, nil, &info); st != 200 || info.Rows != 40 {
+		t.Fatalf("session summary after append: status %d rows %d", st, info.Rows)
+	}
+
+	scratch := createDense(t, ts.URL, full)
+	want := probePairs(t, ts.URL, scratch.ID, 0.8)
+	got := probePairs(t, ts.URL, grown.ID, 0.8)
+	if want.PairCount != got.PairCount || want.Candidates != got.Candidates ||
+		want.Pruned != got.Pruned || want.HashesCompared != got.HashesCompared {
+		t.Fatalf("grown probe differs from scratch: %+v vs %+v", got, want)
+	}
+	if len(want.Pairs) != len(got.Pairs) {
+		t.Fatalf("pair lists: %d vs %d", len(got.Pairs), len(want.Pairs))
+	}
+	for i := range want.Pairs {
+		if want.Pairs[i] != got.Pairs[i] {
+			t.Fatalf("pair %d: %+v vs %+v", i, got.Pairs[i], want.Pairs[i])
+		}
+	}
+
+	// The rows counter made it to /metrics.
+	if exp := scrapeMetrics(t, ts.URL); !strings.Contains(exp, "plasmad_rows_appended_total 15") {
+		t.Fatal("metrics missing plasmad_rows_appended_total 15")
+	}
+}
+
+// TestAppendRowsSparse: the sparse request shape, including defaulted
+// all-ones values, against a Jaccard session.
+func TestAppendRowsSparse(t *testing.T) {
+	_, ts := newTestServer(t, 4)
+	mkRow := func(i int) map[string]any {
+		return map[string]any{"indices": []int32{int32(i % 3), int32(3 + i%2), 6}}
+	}
+	rows := make([]map[string]any, 0, 8)
+	for i := 0; i < 8; i++ {
+		rows = append(rows, mkRow(i))
+	}
+	var grown sessionInfo
+	st := call(t, "POST", ts.URL+"/v1/sessions", map[string]any{
+		"sparse":  map[string]any{"dim": 8, "rows": rows[:5]},
+		"measure": "jaccard",
+	}, &grown)
+	if st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	var ar appendRowsResponse
+	st = call(t, "POST", ts.URL+"/v1/sessions/"+grown.ID+"/rows",
+		map[string]any{"sparse": rows[5:]}, &ar)
+	if st != http.StatusOK || ar.Rows != 8 {
+		t.Fatalf("sparse append: status %d resp %+v", st, ar)
+	}
+
+	var scratch sessionInfo
+	st = call(t, "POST", ts.URL+"/v1/sessions", map[string]any{
+		"sparse":  map[string]any{"dim": 8, "rows": rows},
+		"measure": "jaccard",
+	}, &scratch)
+	if st != http.StatusCreated {
+		t.Fatalf("create full: status %d", st)
+	}
+	want := probePairs(t, ts.URL, scratch.ID, 0.5)
+	got := probePairs(t, ts.URL, grown.ID, 0.5)
+	if want.PairCount != got.PairCount || len(want.Pairs) != len(got.Pairs) {
+		t.Fatalf("sparse grown probe differs: %+v vs %+v", got, want)
+	}
+	for i := range want.Pairs {
+		if want.Pairs[i] != got.Pairs[i] {
+			t.Fatalf("pair %d: %+v vs %+v", i, got.Pairs[i], want.Pairs[i])
+		}
+	}
+}
+
+// TestAppendRowsValidationHTTP: every malformed append is a 400 with the
+// session unchanged; an unknown session is a 404.
+func TestAppendRowsValidationHTTP(t *testing.T) {
+	_, ts := newTestServer(t, 4)
+	info := createDense(t, ts.URL, ingestRows(0, 10))
+	url := ts.URL + "/v1/sessions/" + info.ID + "/rows"
+
+	for name, body := range map[string]map[string]any{
+		"both shapes":    {"dense": [][]float64{{1}}, "sparse": []map[string]any{{"indices": []int32{0}}}},
+		"neither shape":  {},
+		"empty dense":    {"dense": [][]float64{}},
+		"row too wide":   {"dense": [][]float64{{1, 2, 3, 4, 5, 6, 7, 8, 9}}},
+		"bad index":      {"sparse": []map[string]any{{"indices": []int32{99}}}},
+		"not increasing": {"sparse": []map[string]any{{"indices": []int32{3, 1}}}},
+		"ragged values":  {"sparse": []map[string]any{{"indices": []int32{0, 1}, "values": []float64{1}}}},
+	} {
+		var env errorEnvelope
+		if st := call(t, "POST", url, body, &env); st != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, st)
+		} else if env.Error.Code != "bad_request" {
+			t.Errorf("%s: code %q", name, env.Error.Code)
+		}
+	}
+	var env errorEnvelope
+	if st := call(t, "POST", ts.URL+"/v1/sessions/nope/rows",
+		map[string]any{"dense": [][]float64{{1}}}, &env); st != http.StatusNotFound {
+		t.Errorf("unknown session: status %d, want 404", st)
+	}
+	var after sessionInfo
+	if st := call(t, "GET", ts.URL+"/v1/sessions/"+info.ID, nil, &after); st != 200 || after.Rows != 10 {
+		t.Fatalf("failed appends changed the session: status %d rows %d", st, after.Rows)
+	}
+}
+
+// TestAppendRowsSurvivesPersistence: a grown session's snapshot embeds the
+// grown dataset, so persist -> warm start on a fresh daemon reproduces the
+// grown session (rows, probes, and results intact).
+func TestAppendRowsSurvivesPersistence(t *testing.T) {
+	dir := t.TempDir()
+	srv1 := New(Config{Capacity: 4, RequestTimeout: 30 * time.Second, StateDir: dir})
+	ts1 := httptest.NewServer(srv1.Handler())
+	info := createDense(t, ts1.URL, ingestRows(0, 30))
+	var ar appendRowsResponse
+	if st := call(t, "POST", ts1.URL+"/v1/sessions/"+info.ID+"/rows",
+		map[string]any{"dense": ingestRows(30, 40)}, &ar); st != http.StatusOK {
+		t.Fatalf("append: status %d", st)
+	}
+	probePairs(t, ts1.URL, info.ID, 0.8) // recorded in the snapshot below
+	var persisted map[string]any
+	if st := call(t, "POST", ts1.URL+"/v1/sessions/"+info.ID+"/snapshot?persist=1", nil, &persisted); st != 200 {
+		t.Fatalf("persist: status %d", st)
+	}
+	// A warm re-probe from the snapshotted state. The revived server's probe
+	// resumes from the same state, so it must match this, not the cold probe
+	// (resumed evidence can carry a pair past a pruning checkpoint that the
+	// cold pass stopped at).
+	want := probePairs(t, ts1.URL, info.ID, 0.8)
+	ts1.Close()
+
+	srv2 := New(Config{Capacity: 4, RequestTimeout: 30 * time.Second, StateDir: dir})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	var revived sessionInfo
+	if st := call(t, "GET", ts2.URL+"/v1/sessions/"+info.ID, nil, &revived); st != 200 {
+		t.Fatalf("warm start lost the session: status %d", st)
+	}
+	if revived.Rows != 40 || revived.Probes != 1 {
+		t.Fatalf("revived session: %d rows, %d probes; want 40 rows, 1 probe", revived.Rows, revived.Probes)
+	}
+	// Re-probe at the same threshold: warm cache, identical pair list.
+	got := probePairs(t, ts2.URL, info.ID, 0.8)
+	if got.PairCount != want.PairCount || len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("revived probe differs: %+v vs %+v", got, want)
+	}
+	for i := range want.Pairs {
+		if want.Pairs[i] != got.Pairs[i] {
+			t.Fatalf("pair %d: %+v vs %+v", i, got.Pairs[i], want.Pairs[i])
+		}
+	}
+	// And the revived session keeps growing.
+	if st := call(t, "POST", ts2.URL+"/v1/sessions/"+info.ID+"/rows",
+		map[string]any{"dense": ingestRows(40, 45)}, &ar); st != http.StatusOK || ar.Rows != 45 {
+		t.Fatalf("append after revive: status %d resp %+v", st, ar)
+	}
+}

@@ -39,12 +39,13 @@ type Manager struct {
 	stats    Stats
 	reg      *metrics.Registry
 
-	// retiredCueHits/Misses accumulate the cue-cache counters of sessions
-	// that left the manager (eviction, DELETE), so the manager-wide cue
-	// totals stay monotone across session churn: live sessions are summed
-	// at read time, departed ones are folded in here first.
-	retiredCueHits   atomic.Int64
-	retiredCueMisses atomic.Int64
+	// retiredCueHits/Misses/IndexRebuilds accumulate the per-session
+	// counters of sessions that left the manager (eviction, DELETE), so the
+	// manager-wide totals stay monotone across session churn: live sessions
+	// are summed at read time, departed ones are folded in here first.
+	retiredCueHits     atomic.Int64
+	retiredCueMisses   atomic.Int64
+	retiredIdxRebuilds atomic.Int64
 
 	// spill, when set, receives each session evicted for capacity before it
 	// is dropped, so its knowledge cache can be written to disk instead of
@@ -93,7 +94,22 @@ func NewManager(capacity int) *Manager {
 		func() int64 { h, _ := m.CueCacheStats(); return h })
 	m.reg.CounterFunc("plasmad_cue_cache_misses_total", "CueSet lookups that materialized a threshold graph.",
 		func() int64 { _, mi := m.CueCacheStats(); return mi })
+	m.reg.CounterFunc("plasmad_index_rebuilds_total",
+		"Candidate-index rebuilds triggered by appended rows crossing the amortization threshold.",
+		m.IndexRebuilds)
 	return m
+}
+
+// IndexRebuilds sums the candidate-index rebuild counters over resident
+// sessions plus the retired accumulator (monotone across session churn).
+func (m *Manager) IndexRebuilds() int64 {
+	var total int64
+	m.mu.Lock()
+	for _, ms := range m.sessions {
+		total += ms.Session.Cache.IndexRebuilds()
+	}
+	m.mu.Unlock()
+	return total + m.retiredIdxRebuilds.Load()
 }
 
 // Registry returns the manager's metrics registry, so the HTTP layer can
@@ -114,12 +130,13 @@ func (m *Manager) CueCacheStats() (hits, misses int64) {
 	return hits + m.retiredCueHits.Load(), misses + m.retiredCueMisses.Load()
 }
 
-// retire folds a departing session's cue counters into the retired
-// accumulator (see CueCacheStats).
+// retire folds a departing session's cue and index-rebuild counters into
+// the retired accumulators (see CueCacheStats, IndexRebuilds).
 func (m *Manager) retire(ms *ManagedSession) {
 	h, mi := ms.Session.CueCacheStats()
 	m.retiredCueHits.Add(h)
 	m.retiredCueMisses.Add(mi)
+	m.retiredIdxRebuilds.Add(ms.Session.Cache.IndexRebuilds())
 }
 
 // Stats is the manager's counter block: handles into the metrics registry,
@@ -161,8 +178,8 @@ func (m *Manager) Snapshot() StatsSnapshot {
 	m.mu.Unlock()
 	cueHits, cueMisses := m.CueCacheStats()
 	return StatsSnapshot{
-		CueCacheHits:   cueHits,
-		CueCacheMisses: cueMisses,
+		CueCacheHits:     cueHits,
+		CueCacheMisses:   cueMisses,
 		Sessions:         n,
 		Capacity:         m.capacity,
 		SessionsCreated:  m.stats.SessionsCreated.Load(),

@@ -100,16 +100,16 @@ func TestMetricsEndpointCoversTheDaemon(t *testing.T) {
 
 	exp := scrapeMetrics(t, ts.URL)
 	checks := map[string]func(v float64) bool{
-		"plasmad_probes_total":                        func(v float64) bool { return v == 1 },
-		"plasmad_sessions_created_total":              func(v float64) bool { return v == 1 },
-		"plasmad_sessions_restored_total":             func(v float64) bool { return v == 1 },
-		"plasmad_sessions_resident":                   func(v float64) bool { return v == 2 },
-		"plasmad_sessions_capacity":                   func(v float64) bool { return v == 4 },
-		"plasmad_cue_cache_misses_total":              func(v float64) bool { return v >= 1 },
-		"plasmad_cue_cache_hits_total":                func(v float64) bool { return v >= 1 },
-		"plasmad_snapshot_bytes_out_total":            func(v float64) bool { return v == float64(len(blob)) },
-		"plasmad_snapshot_bytes_in_total":             func(v float64) bool { return v == float64(len(blob)) },
-		"plasmad_request_errors_total":                func(v float64) bool { return v == 1 }, // the 404
+		"plasmad_probes_total":             func(v float64) bool { return v == 1 },
+		"plasmad_sessions_created_total":   func(v float64) bool { return v == 1 },
+		"plasmad_sessions_restored_total":  func(v float64) bool { return v == 1 },
+		"plasmad_sessions_resident":        func(v float64) bool { return v == 2 },
+		"plasmad_sessions_capacity":        func(v float64) bool { return v == 4 },
+		"plasmad_cue_cache_misses_total":   func(v float64) bool { return v >= 1 },
+		"plasmad_cue_cache_hits_total":     func(v float64) bool { return v >= 1 },
+		"plasmad_snapshot_bytes_out_total": func(v float64) bool { return v == float64(len(blob)) },
+		"plasmad_snapshot_bytes_in_total":  func(v float64) bool { return v == float64(len(blob)) },
+		"plasmad_request_errors_total":     func(v float64) bool { return v == 1 }, // the 404
 		`plasmad_http_requests_total{route="/v1/sessions/{id}/probe",method="POST",code="2xx"}`: func(v float64) bool { return v == 1 },
 		`plasmad_http_requests_total{route="/v1/sessions/{id}",method="GET",code="4xx"}`:        func(v float64) bool { return v == 1 },
 		`plasmad_http_request_duration_seconds_count{route="/v1/sessions/{id}/probe"}`:          func(v float64) bool { return v == 1 },

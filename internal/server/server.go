@@ -89,6 +89,7 @@ type Server struct {
 	snapBytesIn  *metrics.Counter      // snapshot bytes decoded (restore, revive, warm boot)
 	snapBytesOut *metrics.Counter      // snapshot bytes encoded (downloads, persists, spills)
 	probeBatches *metrics.Counter
+	rowsAppended *metrics.Counter // rows accepted by POST /v1/sessions/{id}/rows
 
 	limiter  *tokenLimiter // per-session token buckets; nil when disabled
 	inflight atomic.Int64  // requests currently inside the middleware
@@ -159,6 +160,8 @@ func New(cfg Config) *Server {
 		"Snapshot bytes encoded: downloads, explicit persists, eviction spills, shutdown saves.")
 	s.probeBatches = reg.Counter("plasmad_probe_batches_total",
 		"Batched probe requests served by POST /v1/sessions/{id}/probes.")
+	s.rowsAppended = reg.Counter("plasmad_rows_appended_total",
+		"Rows appended to live sessions via POST /v1/sessions/{id}/rows.")
 	reg.GaugeFunc("plasmad_inflight_requests", "Requests currently being served.",
 		func() float64 { return float64(s.inflight.Load()) })
 	reg.GaugeFunc("plasmad_uptime_seconds", "Seconds since the daemon started.",

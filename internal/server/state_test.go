@@ -291,7 +291,7 @@ func TestBodyCap413(t *testing.T) {
 	// is still a cap. The decoder streams, so the cap trips when a
 	// well-formed prefix keeps it reading: magic, version, then a declared
 	// spec blob longer than the whole cap.
-	snapBody := append([]byte("PLHDSESS\x01\x00"), 0x60, 0xEA, 0x00, 0x00) // blob length 60000
+	snapBody := append([]byte("PLHDSESS\x02\x00"), 0x60, 0xEA, 0x00, 0x00) // blob length 60000
 	snapBody = append(snapBody, big...)
 	st, out = rawPost(t, ts.URL+"/v1/sessions/restore", "application/octet-stream", snapBody)
 	if st != http.StatusRequestEntityTooLarge || !strings.Contains(string(out), "too_large") {

@@ -83,11 +83,23 @@ req stats '"probes":' "$base/v1/stats"
 req batch '"failed":0' -X POST "$base/v1/sessions/s1/probes" \
     -d '{"thresholds":[0.4,0.7]}'
 
+# Live ingest: create an uploaded session, append rows over the wire, then
+# probe and read cues from the grown session.
+req create2 '"id":"s2"' -X POST "$base/v1/sessions" \
+    -d '{"name":"stream","measure":"cosine","dense":[[1,0,0,0],[0,1,0,0],[1,1,0,0]]}'
+req append '"rows":5' -X POST "$base/v1/sessions/s2/rows" \
+    -d '{"dense":[[1,0,0,1],[0,0,1,1]]}'
+req appendprobe '"pairCount"' -X POST "$base/v1/sessions/s2/probe" \
+    -d '{"threshold":0.5}'
+req appendcues '"triangles"' "$base/v1/sessions/s2/cues?t=0.5"
+reqerr appendbad bad_request -X POST "$base/v1/sessions/s2/rows" \
+    -d '{"dense":[],"sparse":[]}'
+
 # /metrics: the counters driven above must be non-zero and every line must
 # be a well-formed Prometheus text-exposition line (comment or sample).
 metrics=$(curl -sS --fail --max-time 30 "$base/metrics") || {
     echo "smoke-server: metrics scrape failed"; exit 1; }
-for counter in plasmad_probes_total plasmad_sessions_created_total; do
+for counter in plasmad_probes_total plasmad_sessions_created_total plasmad_rows_appended_total; do
     val=$(printf '%s\n' "$metrics" | sed -n "s/^$counter \([0-9][0-9]*\)$/\1/p")
     if [ -z "$val" ] || [ "$val" -eq 0 ]; then
         echo "smoke-server: metrics: $counter missing or zero"; exit 1
