@@ -4,7 +4,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_new.json
 BENCH_SCALE ?= 100
 
-.PHONY: all build vet test short race fuzz bench bench-workers bench-repeat bench-json serve smoke-server ci
+.PHONY: all build vet test short race fuzz bench bench-workers bench-repeat bench-json serve smoke-server smoke-cluster ci
 
 # fuzz time per target for the bounded CI pass (override for longer local runs).
 FUZZTIME ?= 15s
@@ -26,10 +26,11 @@ short:
 	$(GO) test -short ./...
 
 # race covers the concurrent probe engine, the session layer, the
-# multi-tenant HTTP server, and the metrics registry — the packages with
-# shared mutable state.
+# multi-tenant HTTP server (including the cluster proxy/failover paths),
+# the blob store, and the metrics registry — the packages with shared
+# mutable state.
 race:
-	$(GO) test -race ./internal/bayeslsh ./internal/core ./internal/server ./internal/metrics
+	$(GO) test -race ./internal/bayeslsh ./internal/core ./internal/server ./internal/metrics ./internal/blob/... ./internal/ring
 
 # fuzz runs each native fuzz target for $(FUZZTIME) on top of the checked-in
 # seed corpora in testdata/fuzz: the snapshot decoder (warm-start trust
@@ -65,4 +66,10 @@ serve:
 smoke-server:
 	sh ./scripts/smoke-server.sh
 
-ci: vet build short race smoke-server bench-json
+# smoke-cluster boots a 3-node plasmad cluster over a shared blob dir,
+# creates sessions via different nodes, probes through non-owners, kills
+# the owner, and asserts a survivor revives its session from the store.
+smoke-cluster:
+	sh ./scripts/smoke-cluster.sh
+
+ci: vet build short race smoke-server smoke-cluster bench-json

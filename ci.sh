@@ -9,7 +9,9 @@
 # and server packages.
 # Tier 3 (daemon smoke): boot plasmad on a random port, run a probe/curve/
 # cues loop over HTTP, exercise snapshot persistence and a warm restart,
-# and verify graceful shutdown.
+# and verify graceful shutdown. Then a 3-node cluster smoke: create via
+# different nodes, probe through non-owners, kill the owner, and assert a
+# survivor revives its session from the shared blob store.
 # Tier 4 (bench json): plasmabench -json must produce a well-formed
 # machine-readable report — the perf trajectory artifact — and benchdiff
 # compares it against the checked-in BENCH_baseline.json: schema drift
@@ -31,6 +33,9 @@ make race
 
 echo "== tier 3: plasmad daemon smoke =="
 make smoke-server
+
+echo "== tier 3b: plasmad 3-node cluster smoke =="
+make smoke-cluster
 
 echo "== tier 4: plasmabench machine-readable report =="
 bench_out=$(mktemp)

@@ -13,6 +13,9 @@
 //	                                      # eviction spill-to-disk, shutdown save
 //	plasmad -rate-limit 50 -max-inflight 256   # per-session + global load shedding
 //	plasmad -pprof                        # Go profiler under /debug/pprof/
+//	plasmad -node-id a -peers 'a=http://10.0.0.1:8080,b=http://10.0.0.2:8080' \
+//	    -state-dir /mnt/shared/plasmad   # cluster mode: consistent-hash session
+//	                                     # ownership over a shared blob store
 //
 // Prometheus metrics are always served on GET /metrics; -shutdown-timeout
 // bounds how long a SIGTERM may spend draining requests and saving session
@@ -36,6 +39,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -57,8 +61,30 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "global cap on concurrently served requests, 429 above it (0 = unlimited)")
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default)")
 		quiet       = flag.Bool("quiet", false, "suppress the request log")
+		nodeID      = flag.String("node-id", "", "this node's name in a cluster (must appear in -peers; empty = single-node)")
+		peersFlag   = flag.String("peers", "", "cluster membership as name=http://host:port pairs, comma-separated, this node included")
 	)
 	flag.Parse()
+
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "plasmad: -peers:", err)
+		os.Exit(2)
+	}
+	if (*nodeID == "") != (len(peers) == 0) {
+		fmt.Fprintln(os.Stderr, "plasmad: -node-id and -peers must be set together")
+		os.Exit(2)
+	}
+	if *nodeID != "" {
+		if _, ok := peers[*nodeID]; !ok {
+			fmt.Fprintf(os.Stderr, "plasmad: -node-id %q does not appear in -peers\n", *nodeID)
+			os.Exit(2)
+		}
+		if *stateDir == "" {
+			fmt.Fprintln(os.Stderr, "plasmad: cluster mode requires -state-dir (the shared blob store nodes hand sessions off through)")
+			os.Exit(2)
+		}
+	}
 
 	logger := log.New(os.Stderr, "plasmad: ", log.LstdFlags)
 	if *quiet {
@@ -77,6 +103,8 @@ func main() {
 		RateBurst:        *rateBurst,
 		MaxInflight:      *maxInflight,
 		EnablePprof:      *pprofOn,
+		NodeID:           *nodeID,
+		Peers:            peers,
 		Logger:           logger,
 	})
 
@@ -86,4 +114,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "plasmad:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePeers parses "name=url,name=url" into the cluster membership map.
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	peers := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad entry %q, want name=http://host:port", pair)
+		}
+		if _, dup := peers[name]; dup {
+			return nil, fmt.Errorf("duplicate node name %q", name)
+		}
+		peers[name] = url
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("no entries in %q", s)
+	}
+	return peers, nil
 }

@@ -1,0 +1,194 @@
+// Package blobtest is the reusable conformance suite for blob.Store
+// implementations. The local-directory store passes it today; an S3-style
+// backend plugs in by calling Run with its own constructor — the suite
+// encodes the contract (atomic Put, typed not-found, ordered List,
+// concurrent safety) that plasmad's persistence layer assumes.
+package blobtest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+
+	"plasmahd/internal/blob"
+)
+
+// Run exercises every Store contract against a fresh store from open.
+// open is called once per subtest, so implementations get an isolated
+// namespace each time (e.g. a fresh temp dir).
+func Run(t *testing.T, open func(t *testing.T) blob.Store) {
+	t.Run("PutGetRoundTrip", func(t *testing.T) { testPutGetRoundTrip(t, open(t)) })
+	t.Run("Overwrite", func(t *testing.T) { testOverwrite(t, open(t)) })
+	t.Run("GetMissing", func(t *testing.T) { testGetMissing(t, open(t)) })
+	t.Run("DeleteThenGet", func(t *testing.T) { testDeleteThenGet(t, open(t)) })
+	t.Run("ListOrdering", func(t *testing.T) { testListOrdering(t, open(t)) })
+	t.Run("InvalidKeys", func(t *testing.T) { testInvalidKeys(t, open(t)) })
+	t.Run("ConcurrentPutGet", func(t *testing.T) { testConcurrentPutGet(t, open(t)) })
+}
+
+func get(t *testing.T, s blob.Store, key string) []byte {
+	t.Helper()
+	rc, err := s.Get(key)
+	if err != nil {
+		t.Fatalf("Get(%q): %v", key, err)
+	}
+	defer rc.Close()
+	data, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatalf("Get(%q): read: %v", key, err)
+	}
+	return data
+}
+
+func testPutGetRoundTrip(t *testing.T, s blob.Store) {
+	blobs := map[string][]byte{
+		"s1.snap":     []byte("alpha"),
+		"s2.snap":     bytes.Repeat([]byte{0x00, 0xFF, 0x7E}, 4096), // binary-safe
+		"weird-.key_": {},                                           // empty blob is a valid blob
+	}
+	for k, v := range blobs {
+		if err := s.Put(k, v); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	for k, v := range blobs {
+		if got := get(t, s, k); !bytes.Equal(got, v) {
+			t.Errorf("Get(%q) = %d bytes, want %d (content differs)", k, len(got), len(v))
+		}
+	}
+}
+
+func testOverwrite(t *testing.T, s blob.Store) {
+	if err := s.Put("k", []byte("first version, longer")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if got := get(t, s, "k"); string(got) != "second" {
+		t.Errorf("after overwrite Get = %q, want %q (no truncation leftovers)", got, "second")
+	}
+}
+
+func testGetMissing(t *testing.T, s blob.Store) {
+	if _, err := s.Get("never-written"); !errors.Is(err, blob.ErrNotFound) {
+		t.Errorf("Get(missing) = %v, want blob.ErrNotFound", err)
+	}
+}
+
+func testDeleteThenGet(t *testing.T, s blob.Store) {
+	if err := s.Put("doomed", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if removed, err := s.Delete("doomed"); err != nil || !removed {
+		t.Fatalf("Delete(existing) = (%v, %v), want (true, nil)", removed, err)
+	}
+	if _, err := s.Get("doomed"); !errors.Is(err, blob.ErrNotFound) {
+		t.Errorf("Get after Delete = %v, want blob.ErrNotFound", err)
+	}
+	if removed, err := s.Delete("doomed"); err != nil || removed {
+		t.Errorf("Delete(absent) = (%v, %v), want (false, nil)", removed, err)
+	}
+}
+
+func testListOrdering(t *testing.T, s blob.Store) {
+	if keys, err := s.List(); err != nil || len(keys) != 0 {
+		t.Fatalf("List on empty store = (%v, %v), want ([], nil)", keys, err)
+	}
+	// Inserted out of order; List must return lexicographic order.
+	for _, k := range []string{"s9.snap", "s1.snap", "s10.snap", "a.snap"} {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a.snap", "s1.snap", "s10.snap", "s9.snap"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Errorf("List = %v, want %v", keys, want)
+	}
+	if _, err := s.Delete("s9.snap"); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ = s.List()
+	if !reflect.DeepEqual(keys, want[:3]) {
+		t.Errorf("List after delete = %v, want %v", keys, want[:3])
+	}
+}
+
+func testInvalidKeys(t *testing.T, s blob.Store) {
+	bad := []string{"", "a/b", "../escape", ".hidden", "nul\x00byte", "sp ace",
+		string(bytes.Repeat([]byte{'k'}, 256))}
+	for _, k := range bad {
+		if err := s.Put(k, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", k)
+		}
+		if _, err := s.Get(k); err == nil || errors.Is(err, blob.ErrNotFound) {
+			t.Errorf("Get(%q) = %v, want an invalid-key error", k, err)
+		}
+		if _, err := s.Delete(k); err == nil {
+			t.Errorf("Delete(%q) accepted an invalid key", k)
+		}
+	}
+	// None of the rejected operations may have created anything.
+	if keys, err := s.List(); err != nil || len(keys) != 0 {
+		t.Errorf("List after invalid-key ops = (%v, %v), want ([], nil)", keys, err)
+	}
+}
+
+// testConcurrentPutGet hammers one key with concurrent writers and readers:
+// every read must observe exactly one writer's blob in full (atomic Put),
+// never a torn mix of two.
+func testConcurrentPutGet(t *testing.T, s blob.Store) {
+	const writers, readers, rounds = 4, 4, 25
+	value := func(w, round int) []byte {
+		return bytes.Repeat([]byte{byte('A' + w)}, 1024+round) // length encodes the round
+	}
+	if err := s.Put("hot", value(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				if err := s.Put("hot", value(w, round)); err != nil {
+					errc <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				data := get(t, s, "hot")
+				if len(data) == 0 {
+					errc <- fmt.Errorf("reader %d: empty blob", r)
+					return
+				}
+				for _, b := range data {
+					if b != data[0] {
+						errc <- fmt.Errorf("reader %d: torn blob: %q and %q interleaved", r, data[0], b)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

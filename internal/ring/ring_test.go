@@ -1,0 +1,160 @@
+package ring
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestOwnershipBalance is the statistical guarantee the cluster leans on:
+// 10k server-minted session IDs spread over 3, 5, and 9 nodes must land
+// within a modest max/min ratio, or some node's LRU carries a multiple of
+// its share. Measured ratios with DefaultReplicas are 1.17 / 1.36 / 1.39;
+// the bound leaves headroom without letting real skew regress in.
+func TestOwnershipBalance(t *testing.T) {
+	const keys = 10000
+	for _, n := range []int{3, 5, 9} {
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("node-%d", i+1)
+		}
+		r := New(nodes, DefaultReplicas)
+		counts := make(map[string]int, n)
+		for i := 1; i <= keys; i++ {
+			counts[r.Owner(fmt.Sprintf("s%d", i))]++
+		}
+		if len(counts) != n {
+			t.Fatalf("%d nodes: only %d ever own a key", n, len(counts))
+		}
+		min, max := keys, 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		ratio := float64(max) / float64(min)
+		t.Logf("%d nodes: min=%d max=%d ratio=%.3f", n, min, max, ratio)
+		if ratio > 1.6 {
+			t.Errorf("%d nodes: ownership ratio %.3f exceeds 1.6 (min=%d max=%d)", n, ratio, min, max)
+		}
+	}
+}
+
+// TestGoldenAssignment pins routing determinism across process restarts:
+// the assignment of fixed keys to a fixed member set is part of the wire
+// contract — if this golden changes, every deployed cluster would reshuffle
+// session ownership on upgrade, orphaning resident sessions.
+func TestGoldenAssignment(t *testing.T) {
+	r := New([]string{"a", "b", "c"}, DefaultReplicas)
+	want := []string{"b", "a", "b", "a", "a", "a", "c", "b", "b", "a", "a", "a"}
+	for i, w := range want {
+		key := fmt.Sprintf("s%d", i+1)
+		if got := r.Owner(key); got != w {
+			t.Errorf("Owner(%q) = %q, want %q (golden assignment drifted)", key, got, w)
+		}
+	}
+	if got := r.Sequence("s1"); !reflect.DeepEqual(got, []string{"b", "c", "a"}) {
+		t.Errorf("Sequence(s1) = %v, want [b c a]", got)
+	}
+}
+
+// TestDeterministicConstruction: the ring is a pure function of the member
+// set — input order and duplicates must not matter, and two independent
+// constructions must agree on every key (this is what lets every node
+// compute routing locally with no coordination).
+func TestDeterministicConstruction(t *testing.T) {
+	a := New([]string{"n1", "n2", "n3"}, DefaultReplicas)
+	b := New([]string{"n3", "n1", "n2", "n1"}, DefaultReplicas)
+	if !reflect.DeepEqual(a.Nodes(), b.Nodes()) {
+		t.Fatalf("member sets differ: %v vs %v", a.Nodes(), b.Nodes())
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("s%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("Owner(%q): %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+		if !reflect.DeepEqual(a.Sequence(key), b.Sequence(key)) {
+			t.Fatalf("Sequence(%q): %v vs %v", key, a.Sequence(key), b.Sequence(key))
+		}
+	}
+}
+
+// TestSequenceProperties: the failover order starts at the owner, visits
+// every member exactly once, and agrees with Owner.
+func TestSequenceProperties(t *testing.T) {
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	r := New(nodes, DefaultReplicas)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("s%d", i)
+		seq := r.Sequence(key)
+		if len(seq) != len(nodes) {
+			t.Fatalf("Sequence(%q) has %d entries, want %d", key, len(seq), len(nodes))
+		}
+		if seq[0] != r.Owner(key) {
+			t.Fatalf("Sequence(%q)[0] = %q, Owner = %q", key, seq[0], r.Owner(key))
+		}
+		seen := make(map[string]bool, len(seq))
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("Sequence(%q) repeats %q: %v", key, n, seq)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestMembershipChangeMovesFewKeys: adding one node to a 3-node ring must
+// reassign roughly (and at most about) 1/4 of the keyspace, and every
+// reassigned key must move to the new node — the property that makes
+// snapshot-transfer rebalancing proportional to the membership change,
+// not to the session population.
+func TestMembershipChangeMovesFewKeys(t *testing.T) {
+	const keys = 10000
+	before := New([]string{"n1", "n2", "n3"}, DefaultReplicas)
+	after := New([]string{"n1", "n2", "n3", "n4"}, DefaultReplicas)
+	moved := 0
+	for i := 1; i <= keys; i++ {
+		key := fmt.Sprintf("s%d", i)
+		ob, oa := before.Owner(key), after.Owner(key)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "n4" {
+			t.Fatalf("key %q moved %q -> %q, not to the new node", key, ob, oa)
+		}
+	}
+	frac := float64(moved) / keys
+	t.Logf("moved %d/%d keys (%.1f%%)", moved, keys, 100*frac)
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("adding a 4th node moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+}
+
+// TestSingleNode: a one-member ring owns everything (the single-node
+// daemon is just this degenerate ring).
+func TestSingleNode(t *testing.T) {
+	r := New([]string{"solo"}, DefaultReplicas)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("s%d", i)
+		if r.Owner(key) != "solo" {
+			t.Fatalf("Owner(%q) = %q", key, r.Owner(key))
+		}
+	}
+	if got := r.Sequence("s1"); !reflect.DeepEqual(got, []string{"solo"}) {
+		t.Fatalf("Sequence = %v", got)
+	}
+}
+
+// TestEmptyRingPanics: a ring with no members is a programming error.
+func TestEmptyRingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil) did not panic")
+		}
+	}()
+	New(nil, DefaultReplicas)
+}

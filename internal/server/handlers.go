@@ -114,22 +114,6 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// acquire resolves {id} to a busy-marked session or writes the 404 envelope.
-// With a state dir configured, a session that was spilled to disk by
-// eviction is transparently revived before the lookup fails.
-func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (*ManagedSession, func(), bool) {
-	id := r.PathValue("id")
-	ms, release, err := s.mgr.Acquire(id)
-	if errors.Is(err, ErrNotFound) && s.revive(id) {
-		ms, release, err = s.mgr.Acquire(id)
-	}
-	if err != nil {
-		s.writeError(w, http.StatusNotFound, "not_found", "no session %q", id)
-		return nil, nil, false
-	}
-	return ms, release, true
-}
-
 // threshold parses the t query parameter into [-1, 1].
 func (s *Server) threshold(w http.ResponseWriter, r *http.Request) (float64, bool) {
 	raw := r.URL.Query().Get("t")
@@ -938,8 +922,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // handleSnapshot serializes a session. By default the binary snapshot is
 // streamed back to the client (application/octet-stream), ready to be fed
 // to POST /v1/sessions/restore here or on another daemon. With ?persist=1
-// (requires a -state-dir) the snapshot is written to the server's state dir
-// instead and a JSON summary is returned.
+// (requires a blob store, i.e. -state-dir) the snapshot is written to the
+// store instead and a JSON summary is returned.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	ms, release, ok := s.acquire(w, r)
 	if !ok {
@@ -947,7 +931,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	if raw := r.URL.Query().Get("persist"); raw == "1" || raw == "true" {
-		if s.cfg.StateDir == "" {
+		if s.blobs == nil {
 			s.writeError(w, http.StatusBadRequest, "bad_request",
 				"persist requires the daemon to run with -state-dir")
 			return
@@ -960,7 +944,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		s.snapBytesOut.Add(int64(n))
 		s.writeJSON(w, http.StatusOK, map[string]any{
 			"sessionId": ms.ID,
-			"path":      s.statePath(ms.ID),
+			"key":       stateKey(ms.ID),
 			"bytes":     n,
 		})
 		return

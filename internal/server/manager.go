@@ -55,6 +55,12 @@ type Manager struct {
 	// map, so the hook must tolerate manager calls running concurrently.
 	spill func(*ManagedSession) error
 
+	// owns, when set, restricts which session IDs this manager may mint: in
+	// cluster mode each node creates only sessions the consistent-hash ring
+	// assigns to it, so the global "s<n>" ID space partitions across nodes
+	// with no coordination and no collisions (see mintID).
+	owns func(string) bool
+
 	mu       sync.Mutex
 	sessions map[string]*ManagedSession
 }
@@ -64,6 +70,30 @@ func (m *Manager) SetSpill(f func(*ManagedSession) error) {
 	m.mu.Lock()
 	m.spill = f
 	m.mu.Unlock()
+}
+
+// SetOwns installs the ID-ownership filter (nil, the default, accepts every
+// ID — single-node mode). Must be set before the manager mints any ID.
+func (m *Manager) SetOwns(f func(string) bool) {
+	m.mu.Lock()
+	m.owns = f
+	m.mu.Unlock()
+}
+
+// mintID allocates the next session ID this node is allowed to own. The
+// counter is global across the cluster's ID space, so skipped IDs (owned by
+// peers) are simply never minted anywhere else either — each node walks the
+// same sequence and keeps only its own residue class under the ring hash.
+func (m *Manager) mintID() string {
+	m.mu.Lock()
+	owns := m.owns
+	m.mu.Unlock()
+	for {
+		id := fmt.Sprintf("s%d", m.nextID.Add(1))
+		if owns == nil || owns(id) {
+			return id
+		}
+	}
 }
 
 // NewManager returns an empty manager admitting up to capacity resident
@@ -79,7 +109,8 @@ func NewManager(capacity int) *Manager {
 		SessionsCreated:  m.reg.Counter("plasmad_sessions_created_total", "Sessions created via POST /v1/sessions."),
 		SessionsEvicted:  m.reg.Counter("plasmad_sessions_evicted_total", "Sessions evicted by the capacity LRU."),
 		SessionsDeleted:  m.reg.Counter("plasmad_sessions_deleted_total", "Sessions removed by explicit DELETE."),
-		SessionsSpilled:  m.reg.Counter("plasmad_sessions_spilled_total", "Evictions persisted to the state dir instead of discarded."),
+		SessionsSpilled:  m.reg.Counter("plasmad_sessions_spilled_total", "Evictions persisted to the blob store instead of discarded."),
+		SpillFailures:    m.reg.Counter("plasmad_spill_failures_total", "Eviction spills that failed, losing the victim's cached evidence."),
 		SessionsRestored: m.reg.Counter("plasmad_sessions_restored_total", "Sessions rebuilt from snapshots (warm boot, revival, restore API)."),
 		Probes:           m.reg.Counter("plasmad_probes_total", "Probes executed by the engine (batch members included)."),
 		ProbesCoalesced:  m.reg.Counter("plasmad_probes_coalesced_total", "Probe requests that joined an in-flight identical probe."),
@@ -146,7 +177,8 @@ type Stats struct {
 	SessionsCreated  *metrics.Counter
 	SessionsEvicted  *metrics.Counter
 	SessionsDeleted  *metrics.Counter
-	SessionsSpilled  *metrics.Counter // evictions that went to disk, not oblivion
+	SessionsSpilled  *metrics.Counter // evictions that went to the blob store, not oblivion
+	SpillFailures    *metrics.Counter // spills that failed — evidence lost despite a configured store
 	SessionsRestored *metrics.Counter // sessions rebuilt from snapshots (boot, revive, restore API)
 	Probes           *metrics.Counter
 	ProbesCoalesced  *metrics.Counter
@@ -162,6 +194,7 @@ type StatsSnapshot struct {
 	SessionsEvicted  int64 `json:"sessionsEvicted"`
 	SessionsDeleted  int64 `json:"sessionsDeleted"`
 	SessionsSpilled  int64 `json:"sessionsSpilled"`
+	SpillFailures    int64 `json:"spillFailures"`
 	SessionsRestored int64 `json:"sessionsRestored"`
 	Probes           int64 `json:"probes"`
 	ProbesCoalesced  int64 `json:"probesCoalesced"`
@@ -186,6 +219,7 @@ func (m *Manager) Snapshot() StatsSnapshot {
 		SessionsEvicted:  m.stats.SessionsEvicted.Load(),
 		SessionsDeleted:  m.stats.SessionsDeleted.Load(),
 		SessionsSpilled:  m.stats.SessionsSpilled.Load(),
+		SpillFailures:    m.stats.SpillFailures.Load(),
 		SessionsRestored: m.stats.SessionsRestored.Load(),
 		Probes:           m.stats.Probes.Load(),
 		ProbesCoalesced:  m.stats.ProbesCoalesced.Load(),
@@ -273,7 +307,7 @@ func (m *Manager) Create(spec dataset.Spec, ds *vec.Dataset, p bayeslsh.Params, 
 	sess := core.NewSession(ds, p, seed)
 	sess.Spec = spec
 	ms := &ManagedSession{
-		ID:      fmt.Sprintf("s%d", m.nextID.Add(1)),
+		ID:      m.mintID(),
 		Spec:    spec,
 		Session: sess,
 		Created: time.Now(),
@@ -289,7 +323,7 @@ func (m *Manager) Create(spec dataset.Spec, ds *vec.Dataset, p bayeslsh.Params, 
 // (the POST /v1/sessions/restore path: the snapshot may come from another
 // daemon whose IDs collide with ours).
 func (m *Manager) AdmitNew(ms *ManagedSession) error {
-	ms.ID = fmt.Sprintf("s%d", m.nextID.Add(1))
+	ms.ID = m.mintID()
 	if err := m.admit(ms); err != nil {
 		return err
 	}
@@ -399,6 +433,25 @@ func (m *Manager) Acquire(id string) (*ManagedSession, func(), error) {
 		return nil, nil, ErrNotFound
 	}
 	return ms, ms.release, nil
+}
+
+// StealIdle unlinks a session from the manager if and only if it is
+// resident and idle, returning it for a rebalance handoff. Unlike Remove it
+// counts as neither a delete nor an eviction — the session is moving, not
+// dying — but like eviction it folds the departing counters into the
+// retired accumulators so manager-wide totals stay monotone. A busy session
+// is left untouched (the caller retries on a later request).
+func (m *Manager) StealIdle(id string) (*ManagedSession, bool) {
+	m.mu.Lock()
+	ms, ok := m.sessions[id]
+	if !ok || !ms.Idle() {
+		m.mu.Unlock()
+		return nil, false
+	}
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	m.retire(ms)
+	return ms, true
 }
 
 // Remove deletes a session by ID (explicit DELETE, not eviction).

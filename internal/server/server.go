@@ -19,7 +19,6 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -27,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"plasmahd/internal/blob"
 	"plasmahd/internal/metrics"
 )
 
@@ -43,10 +43,22 @@ type Config struct {
 	// MaxBodyBytes, and a migration round trip must accept what the
 	// snapshot endpoint produced.
 	MaxSnapshotBytes int64
-	// StateDir, when non-empty, makes knowledge caches durable: sessions are
-	// saved there on graceful shutdown, loaded on boot (warm start), spilled
-	// there on capacity eviction, and revived from there on demand.
+	// StateDir, when non-empty, makes knowledge caches durable: a
+	// local-directory blob store is mounted there, and sessions are saved to
+	// it on graceful shutdown, loaded on boot (warm start), spilled on
+	// capacity eviction, and revived on demand. Ignored when Store is set.
 	StateDir string
+	// Store, when non-nil, is the blob store used for all session
+	// persistence instead of the StateDir directory — embedders plug in any
+	// blob.Store implementation (it must pass blobtest.Run).
+	Store blob.Store
+	// NodeID names this node in a cluster; empty means single-node mode.
+	// Must appear as a key of Peers.
+	NodeID string
+	// Peers maps every cluster node's ID (this one included) to its base
+	// URL. All nodes must be configured with the same map and share one
+	// blob store, or sessions ping-pong and revivals miss.
+	Peers map[string]string
 	// ShutdownTimeout bounds the whole graceful-shutdown sequence: draining
 	// in-flight requests plus saving resident sessions to the state dir
 	// (default 10s). A large state dir may need more; sessions that miss
@@ -90,6 +102,17 @@ type Server struct {
 	snapBytesOut *metrics.Counter      // snapshot bytes encoded (downloads, persists, spills)
 	probeBatches *metrics.Counter
 	rowsAppended *metrics.Counter // rows accepted by POST /v1/sessions/{id}/rows
+
+	// Cluster plumbing (see resolver.go and cluster.go). resolver is always
+	// non-nil; in single-node mode it resolves everything locally. blobs is
+	// nil when persistence is disabled.
+	resolver    *resolver
+	blobs       blob.Store
+	proxyClient *http.Client
+
+	clusterProxied   *metrics.Counter // requests forwarded to their owner
+	clusterFailovers *metrics.Counter // requests served here because every preferred owner was unreachable
+	clusterHandoffs  *metrics.Counter // resident sessions handed to their owner through the blob store
 
 	limiter  *tokenLimiter // per-session token buckets; nil when disabled
 	inflight atomic.Int64  // requests currently inside the middleware
@@ -145,6 +168,15 @@ func New(cfg Config) *Server {
 		start:   time.Now(),
 		deleted: make(map[string]bool),
 	}
+	rv, err := newResolver(cfg.NodeID, cfg.Peers)
+	if err != nil {
+		// An invalid cluster config must not half-join a ring: fall back to
+		// single-node, loudly. cmd/plasmad validates the flags up front and
+		// refuses to start instead.
+		s.logf("cluster config rejected, running single-node: %v", err)
+		rv = &resolver{}
+	}
+	s.resolver = rv
 	reg := s.mgr.Registry()
 	s.httpRequests = reg.CounterVec("plasmad_http_requests_total",
 		"Completed HTTP requests by route pattern, method, and status class.",
@@ -168,6 +200,18 @@ func New(cfg Config) *Server {
 		func() float64 { return time.Since(s.start).Seconds() })
 	reg.GaugeFunc("plasmad_goroutines", "Goroutines in the process.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
+	if rv.clustered() {
+		s.mgr.SetOwns(rv.owns)
+		s.proxyClient = &http.Client{Transport: newProxyTransport()}
+		s.clusterProxied = reg.Counter("plasmad_cluster_proxied_total",
+			"Session requests forwarded to their owning node.")
+		s.clusterFailovers = reg.Counter("plasmad_cluster_failovers_total",
+			"Session requests served locally because every preferred owner was unreachable.")
+		s.clusterHandoffs = reg.Counter("plasmad_cluster_handoffs_total",
+			"Resident sessions handed off to their ring owner through the blob store.")
+		reg.GaugeFunc("plasmad_cluster_nodes", "Nodes in the configured cluster ring.",
+			func() float64 { return float64(rv.nodes()) })
+	}
 	if cfg.RateLimit > 0 {
 		s.limiter = newTokenLimiter(cfg.RateLimit, float64(cfg.RateBurst))
 	}
@@ -195,17 +239,23 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/symbol", profiled(pprof.Symbol))
 		s.mux.HandleFunc("/debug/pprof/trace", profiled(pprof.Trace))
 	}
-	if cfg.StateDir != "" {
-		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+	switch {
+	case cfg.Store != nil:
+		s.blobs = cfg.Store
+	case cfg.StateDir != "":
+		d, err := blob.NewDir(cfg.StateDir)
+		if err != nil {
 			s.logf("state dir %s unavailable, persistence disabled: %v", cfg.StateDir, err)
-			s.cfg.StateDir = ""
 		} else {
-			s.mgr.SetSpill(s.spillSession)
-			if n, err := s.LoadState(); err != nil {
-				s.logf("warm start failed: %v", err)
-			} else if n > 0 {
-				s.logf("warm start: %d session(s) restored from %s", n, cfg.StateDir)
-			}
+			s.blobs = d
+		}
+	}
+	if s.blobs != nil {
+		s.mgr.SetSpill(s.spillSession)
+		if n, err := s.LoadState(); err != nil {
+			s.logf("warm start failed: %v", err)
+		} else if n > 0 {
+			s.logf("warm start: %d session(s) restored from the blob store", n)
 		}
 	}
 	s.hsrv = &http.Server{
@@ -253,12 +303,12 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 		defer cancel()
 		err := s.hsrv.Shutdown(sctx)
-		if s.cfg.StateDir != "" {
+		if s.blobs != nil {
 			if saved, failed, serr := s.SaveState(sctx); serr != nil {
-				s.logf("state save incomplete: %d saved, %d failed -> %s (first error: %v)",
-					saved, failed, s.cfg.StateDir, serr)
+				s.logf("state save incomplete: %d saved, %d failed -> blob store (first error: %v)",
+					saved, failed, serr)
 			} else {
-				s.logf("state saved: %d session(s), 0 failed -> %s", saved, s.cfg.StateDir)
+				s.logf("state saved: %d session(s), 0 failed -> blob store", saved)
 			}
 		}
 		s.logf("plasmad shut down")
@@ -273,15 +323,24 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 // instrument wraps a route handler with the concerns that need the matched
 // pattern: tagging the response writer so the middleware can label metrics
-// by route instead of raw path, and the per-session token bucket on
-// {id}-scoped routes (the "tenant" of a probe daemon is the session).
+// by route instead of raw path, cluster ownership routing on {id}-scoped
+// routes, and the per-session token bucket on those same routes (the
+// "tenant" of a probe daemon is the session). Ownership runs before the
+// rate limit so a proxied request is limited once, at the node that serves
+// it, not at every hop.
 func (s *Server) instrument(rt Route) http.HandlerFunc {
-	limited := strings.Contains(rt.Pattern, "{id}")
+	scoped := strings.Contains(rt.Pattern, "{id}")
 	return func(w http.ResponseWriter, r *http.Request) {
 		if sw, ok := w.(*statusWriter); ok {
 			sw.route = rt.Pattern
 		}
-		if limited && s.limiter != nil {
+		if scoped && s.serveOwned(w, r) {
+			return
+		}
+		if s.resolver.clustered() {
+			w.Header().Set(NodeHeader, s.resolver.self)
+		}
+		if scoped && s.limiter != nil {
 			id := r.PathValue("id")
 			if retry, ok := s.limiter.allow(id, time.Now()); !ok {
 				s.rateLimited.With("session").Inc()

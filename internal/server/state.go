@@ -5,36 +5,42 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
+	"plasmahd/internal/blob"
 	"plasmahd/internal/core"
 )
 
-// State persistence: when Config.StateDir is set, plasmad's knowledge caches
-// survive the process. One file per session, "<id>.snap", in the session
-// snapshot format (see core.Session.Snapshot):
+// State persistence: when the server has a blob store (Config.StateDir
+// configures the local-directory one; Config.Store injects any other),
+// plasmad's knowledge caches survive the process. One blob per session,
+// key "<id>.snap", in the session snapshot format (see
+// core.Session.Snapshot):
 //
 //   - graceful shutdown saves every resident session (SaveState);
-//   - boot loads saved sessions back up to capacity (LoadState);
-//   - capacity eviction spills the victim to disk instead of discarding it;
-//   - a request for a spilled session revives it from disk transparently;
-//   - DELETE removes the session's file along with the session.
+//   - boot loads saved sessions this node owns, up to capacity (LoadState);
+//   - capacity eviction spills the victim to the store instead of
+//     discarding it;
+//   - a request for a spilled session revives it from the store
+//     transparently;
+//   - DELETE removes the session's blob along with the session;
+//   - in cluster mode, a rebalance hands a session off through the store
+//     (see cluster.go) and the new owner revives it on first touch.
 //
-// Files are written atomically (temp file + rename), so a crash mid-save
-// leaves the previous snapshot intact rather than a truncated one — and the
-// codec's CRC catches anything else.
+// The store contract makes Put atomic, so a crash mid-save leaves the
+// previous snapshot intact rather than a truncated one — and the codec's
+// CRC catches anything else. Because every node of a cluster mounts the
+// same store, "spilled here" means "revivable anywhere".
 
-// snapExt is the session snapshot file suffix.
+// snapExt is the session snapshot key suffix.
 const snapExt = ".snap"
 
-// validStateID reports whether id is one the server itself could have
-// minted ("s<n>"), the only IDs allowed to name state files — nothing
-// path-like from a URL ever touches the filesystem.
+// validStateID reports whether id is one a plasmad node could have minted
+// ("s<n>"), the only IDs allowed to name snapshot blobs — nothing
+// path-like from a URL ever becomes a storage key.
 func validStateID(id string) bool {
 	if len(id) < 2 || id[0] != 's' {
 		return false
@@ -43,35 +49,31 @@ func validStateID(id string) bool {
 	return err == nil
 }
 
-func (s *Server) statePath(id string) string {
-	return filepath.Join(s.cfg.StateDir, id+snapExt)
-}
+// stateKey maps a session ID to its blob-store key.
+func stateKey(id string) string { return id + snapExt }
 
-// saveSession writes one session's snapshot atomically to the state dir and
-// returns the snapshot size.
+// saveSession writes one session's snapshot to the blob store and returns
+// the snapshot size.
 func (s *Server) saveSession(ms *ManagedSession) (int, error) {
 	var buf bytes.Buffer
 	if err := ms.Session.Snapshot(&buf); err != nil {
 		return 0, fmt.Errorf("snapshot %s: %w", ms.ID, err)
 	}
-	path := s.statePath(ms.ID)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
-		return 0, err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := s.blobs.Put(stateKey(ms.ID), buf.Bytes()); err != nil {
 		return 0, err
 	}
 	return buf.Len(), nil
 }
 
-// spillSession is the manager's eviction hook: persist the victim's cache
-// instead of discarding it. Errors are logged, not fatal — an eviction that
-// cannot spill degrades to the old discard behaviour. It runs under stateMu:
-// the victim is already unlinked from the manager, so a DELETE racing this
-// window finds nothing to remove, and only the tombstone check here stops
-// the spill from writing the file back after the delete returned.
+// spillSession is the manager's eviction hook (and the rebalance handoff's
+// persist step): write the victim's cache to the blob store instead of
+// discarding it. Errors are counted in plasmad_spill_failures_total and
+// logged with the lost pair count, not fatal — an eviction that cannot
+// spill degrades to the old discard behaviour, but never silently. It runs
+// under stateMu: the victim is already unlinked from the manager, so a
+// DELETE racing this window finds nothing to remove, and only the
+// tombstone check here stops the spill from writing the blob back after
+// the delete returned.
 func (s *Server) spillSession(ms *ManagedSession) error {
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
@@ -81,22 +83,23 @@ func (s *Server) spillSession(ms *ManagedSession) error {
 	}
 	n, err := s.saveSession(ms)
 	if err != nil {
-		s.logf("spill %s failed: %v", ms.ID, err)
+		s.mgr.stats.SpillFailures.Add(1)
+		s.logf("spill %s failed, %d cached pairs lost: %v", ms.ID, ms.Session.CachedPairs(), err)
 		return err
 	}
 	s.snapBytesOut.Add(int64(n))
-	s.logf("spilled session %s to disk (%d bytes, %d cached pairs)", ms.ID, n, ms.Session.CachedPairs())
+	s.logf("spilled session %s to the blob store (%d bytes, %d cached pairs)", ms.ID, n, ms.Session.CachedPairs())
 	return nil
 }
 
 // markDeleted tombstones an explicitly deleted session ID so an in-flight
-// eviction spill cannot write its file back (the spill runs on a victim
+// eviction spill cannot write its blob back (the spill runs on a victim
 // already unlinked from the manager, outside anything the DELETE can
 // observe). Only IDs the daemon could actually have minted are recorded, so
 // DELETE spam on fabricated IDs cannot grow the set beyond sessions ever
 // created. Callers hold stateMu.
 func (s *Server) markDeleted(id string) {
-	if s.cfg.StateDir == "" || !validStateID(id) {
+	if s.blobs == nil || !validStateID(id) {
 		return
 	}
 	if n, _ := strconv.ParseUint(id[1:], 10, 63); int64(n) > s.mgr.nextID.Load() {
@@ -105,30 +108,30 @@ func (s *Server) markDeleted(id string) {
 	s.deleted[id] = true
 }
 
-// removeSessionState deletes a session's snapshot file, so an explicitly
+// removeSessionState deletes a session's snapshot blob, so an explicitly
 // deleted session does not resurrect on the next boot. It reports whether a
-// file was actually removed (a spilled, non-resident session exists only as
-// its file).
+// blob was actually removed (a spilled, non-resident session exists only as
+// its blob).
 func (s *Server) removeSessionState(id string) bool {
-	if s.cfg.StateDir == "" || !validStateID(id) {
+	if s.blobs == nil || !validStateID(id) {
 		return false
 	}
-	err := os.Remove(s.statePath(id))
-	if err != nil && !errors.Is(err, os.ErrNotExist) {
+	removed, err := s.blobs.Delete(stateKey(id))
+	if err != nil {
 		s.logf("remove state %s: %v", id, err)
 	}
-	return err == nil
+	return removed
 }
 
-// loadSessionFile restores one session from its snapshot file, rehydrating
+// loadSessionBlob restores one session from its snapshot blob, rehydrating
 // the dataset from the embedded spec or data.
-func (s *Server) loadSessionFile(id string) (*ManagedSession, error) {
-	f, err := os.Open(s.statePath(id))
+func (s *Server) loadSessionBlob(id string) (*ManagedSession, error) {
+	rc, err := s.blobs.Get(stateKey(id))
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	body := &maxBytesTracker{r: f}
+	defer rc.Close()
+	body := &maxBytesTracker{r: rc}
 	sess, err := core.RestoreSession(body, nil)
 	s.snapBytesIn.Add(body.n)
 	if err != nil {
@@ -142,18 +145,19 @@ func (s *Server) loadSessionFile(id string) (*ManagedSession, error) {
 	}, nil
 }
 
-// revive brings a spilled session back from disk under its original ID.
-// It reports whether the ID is worth re-acquiring: true on successful
-// admission and on ErrConflict (a racing request already revived it).
+// revive brings a spilled session back from the blob store under its
+// original ID. It reports whether the ID is worth re-acquiring: true on
+// successful admission and on ErrConflict (a racing request already
+// revived it).
 //
-// Coordination with DELETE (see Server.stateMu): the file load runs under
-// stateMu so it cannot race the delete's file removal, but the admission
+// Coordination with DELETE (see Server.stateMu): the blob load runs under
+// stateMu so it cannot race the delete's blob removal, but the admission
 // deliberately does not — AdmitAs can evict, and the eviction spill takes
 // stateMu itself, so holding it across the admit would self-deadlock. A
 // DELETE landing in that unlocked window is caught by the tombstone
 // re-check after the admit, which sweeps the just-revived session.
 func (s *Server) revive(id string) bool {
-	if s.cfg.StateDir == "" || !validStateID(id) {
+	if s.blobs == nil || !validStateID(id) {
 		return false
 	}
 	s.stateMu.Lock()
@@ -161,10 +165,10 @@ func (s *Server) revive(id string) bool {
 		s.stateMu.Unlock()
 		return false
 	}
-	ms, err := s.loadSessionFile(id)
+	ms, err := s.loadSessionBlob(id)
 	s.stateMu.Unlock()
 	if err != nil {
-		if !errors.Is(err, os.ErrNotExist) {
+		if !errors.Is(err, blob.ErrNotFound) {
 			s.logf("revive %s failed: %v", id, err)
 		}
 		return false
@@ -183,19 +187,22 @@ func (s *Server) revive(id string) bool {
 		_ = s.mgr.Remove(id)
 		return false
 	}
-	s.logf("revived session %s from disk (%d cached pairs)", id, ms.Session.CachedPairs())
+	s.logf("revived session %s from the blob store (%d cached pairs)", id, ms.Session.CachedPairs())
 	return true
 }
 
-// SaveState snapshots every resident session into the state dir — the
-// graceful-shutdown path. The context bounds the whole sweep (the
-// configurable -shutdown-timeout budget): once it expires, every remaining
-// session is logged as lost instead of silently skipped. It returns how
-// many sessions were saved, how many failed (save errors plus deadline
-// misses), and the first error encountered; saving continues past
-// individual failures but stops at the deadline.
+// SaveState snapshots every resident session into the blob store — the
+// graceful-shutdown path. In cluster mode this doubles as the departing
+// node's half of rebalancing: its sessions land in the shared store, and
+// whichever node owns them next revives them on first touch. The context
+// bounds the whole sweep (the configurable -shutdown-timeout budget): once
+// it expires, every remaining session is logged as lost instead of
+// silently skipped. It returns how many sessions were saved, how many
+// failed (save errors plus deadline misses), and the first error
+// encountered; saving continues past individual failures but stops at the
+// deadline.
 func (s *Server) SaveState(ctx context.Context) (saved, failed int, firstErr error) {
-	if s.cfg.StateDir == "" {
+	if s.blobs == nil {
 		return 0, 0, nil
 	}
 	sessions := s.mgr.List()
@@ -226,29 +233,39 @@ func (s *Server) SaveState(ctx context.Context) (saved, failed int, firstErr err
 	return saved, failed, firstErr
 }
 
-// LoadState restores saved sessions from the state dir — the warm-boot
-// path. Sessions are admitted in ID order until the manager is full; the
-// rest stay on disk, revivable on demand. Corrupt or unreadable snapshots
-// are logged and skipped (boot never fails on a bad file). Returns how many
-// sessions were restored.
+// LoadState restores saved sessions from the blob store — the warm-boot
+// path. Only sessions this node owns are admitted (in single-node mode
+// that is all of them); snapshots belonging to other ring members stay in
+// the store for their owners to revive. Sessions are admitted in ID order
+// until the manager is full; the rest stay in the store, revivable on
+// demand. Corrupt or unreadable snapshots are logged and skipped (boot
+// never fails on a bad blob). Returns how many sessions were restored.
 func (s *Server) LoadState() (int, error) {
-	if s.cfg.StateDir == "" {
+	if s.blobs == nil {
 		return 0, nil
 	}
-	entries, err := os.ReadDir(s.cfg.StateDir)
+	keys, err := s.blobs.List()
 	if err != nil {
 		return 0, err
 	}
 	var ids []string
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, snapExt) {
+	foreign := 0
+	for _, key := range keys {
+		if !strings.HasSuffix(key, snapExt) {
 			continue
 		}
-		id := strings.TrimSuffix(name, snapExt)
-		if validStateID(id) {
-			ids = append(ids, id)
+		id := strings.TrimSuffix(key, snapExt)
+		if !validStateID(id) {
+			continue
 		}
+		if !s.resolver.owns(id) {
+			foreign++
+			continue
+		}
+		ids = append(ids, id)
+	}
+	if foreign > 0 {
+		s.logf("warm start: %d snapshot(s) belong to other nodes, left in the blob store", foreign)
 	}
 	// Numeric order, so "s2" warm-starts before "s10".
 	sort.Slice(ids, func(a, b int) bool {
@@ -259,10 +276,10 @@ func (s *Server) LoadState() (int, error) {
 	restored := 0
 	for i, id := range ids {
 		if s.mgr.Len() >= s.cfg.Capacity {
-			s.logf("warm start: capacity reached, %d snapshots stay on disk", len(ids)-i)
+			s.logf("warm start: capacity reached, %d snapshots stay in the blob store", len(ids)-i)
 			break
 		}
-		ms, err := s.loadSessionFile(id)
+		ms, err := s.loadSessionBlob(id)
 		if err != nil {
 			s.logf("warm start: skipping %s: %v", id, err)
 			continue

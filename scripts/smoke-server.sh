@@ -129,7 +129,7 @@ req restore '"cachedPairs"' -X POST --data-binary "@$workdir/s1.snap" \
     "$base/v1/sessions/restore"
 reqerr badsnap bad_snapshot -X POST --data-binary 'junk' \
     "$base/v1/sessions/restore"
-req persist '"path"' -X POST "$base/v1/sessions/s1/snapshot?persist=1"
+req persist '"key"' -X POST "$base/v1/sessions/s1/snapshot?persist=1"
 
 stop "$workdir/plasmad.log"
 echo "smoke-server: first daemon down, rebooting on the same state dir"
