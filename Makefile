@@ -4,7 +4,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_new.json
 BENCH_SCALE ?= 100
 
-.PHONY: all build vet test short race fuzz bench bench-workers bench-repeat bench-json serve smoke-server smoke-cluster ci
+.PHONY: all build vet test short race lint fuzz bench bench-workers bench-repeat bench-json serve smoke-server smoke-cluster ci
 
 # fuzz time per target for the bounded CI pass (override for longer local runs).
 FUZZTIME ?= 15s
@@ -27,10 +27,25 @@ short:
 
 # race covers the concurrent probe engine, the session layer, the
 # multi-tenant HTTP server (including the cluster proxy/failover paths),
-# the blob store, and the metrics registry — the packages with shared
-# mutable state.
+# the blob store, the metrics registry, and the packages experiments fan
+# out over worker pools (dataset loading, graph cues) — everything with
+# shared mutable state. The experiment sweeps themselves run -short under
+# race: the full sweeps take minutes with the detector on, and the short
+# pass still smoke-runs every experiment ID through the same worker pools.
 race:
-	$(GO) test -race ./internal/bayeslsh ./internal/core ./internal/server ./internal/metrics ./internal/blob/... ./internal/ring
+	$(GO) test -race ./internal/bayeslsh ./internal/core ./internal/server ./internal/metrics ./internal/blob/... ./internal/ring ./internal/dataset ./internal/graph
+	$(GO) test -race -short ./internal/experiments
+
+# lint is ci tier 1b: formatting drift (gofmt -l), vet regressions, and
+# plasmalint — the project-specific invariant analyzers in internal/lint
+# (mapiter, atomicmix, prealloc, httperr, lockorder), each encoding a bug
+# class this repo has already shipped a fix for. The tree must stay clean;
+# deliberate exceptions carry //lint:<analyzer>-ok <reason> annotations.
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt drift:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/plasmalint ./...
 
 # fuzz runs each native fuzz target for $(FUZZTIME) on top of the checked-in
 # seed corpora in testdata/fuzz: the snapshot decoder (warm-start trust
@@ -72,4 +87,4 @@ smoke-server:
 smoke-cluster:
 	sh ./scripts/smoke-cluster.sh
 
-ci: vet build short race smoke-server smoke-cluster bench-json
+ci: vet build lint short race smoke-server smoke-cluster bench-json

@@ -5,6 +5,11 @@
 #
 # Tier 1 (fast): vet + build + short tests, which still smoke-run every
 # experiment ID at reduced scale.
+# Tier 1b (lint): gofmt drift, go vet, and plasmalint — the custom
+# invariant analyzers (internal/lint) that catch the repo's recurring bug
+# classes (map-order nondeterminism, mixed atomic access, unbounded decode
+# preallocation, envelope-bypassing error paths, lock-order inversions) in
+# seconds, before the race detector gets a chance.
 # Tier 2 (race): race-detector pass over the concurrent engine, session,
 # and server packages.
 # Tier 3 (daemon smoke): boot plasmad on a random port, run a probe/curve/
@@ -27,6 +32,9 @@ set -eu
 
 echo "== tier 1: vet + build + short tests =="
 make vet build short
+
+echo "== tier 1b: lint (gofmt + vet + plasmalint) =="
+make lint
 
 echo "== tier 2: race detector on concurrent packages =="
 make race

@@ -61,6 +61,16 @@
 // spills-then-revives on capacity eviction. Restores are deterministic —
 // a probe after restart returns exactly the bytes an uninterrupted
 // session would have produced.
+//
+// # Enforced invariants
+//
+// The determinism and trust-boundary rules above are not prose-only:
+// cmd/plasmalint (engine in internal/lint, run as "make lint", ci tier
+// 1b) statically enforces the bug classes this repo has shipped fixes
+// for — map-iteration order leaking into results, mixed atomic/plain
+// field access, decoders preallocating from untrusted lengths, error
+// responses bypassing the JSON envelope, and lock-hierarchy inversions.
+// See the "Invariants and lint" section of docs/ARCHITECTURE.md.
 package plasmahd
 
 // Version identifies this reproduction.

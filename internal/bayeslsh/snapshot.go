@@ -119,6 +119,7 @@ func (sr *snapReader) bytes(n int) []byte {
 	if sr.err != nil {
 		return nil
 	}
+	//lint:prealloc-ok every caller passes a constant 1/2/4/8-byte width, never a decoded count
 	b := make([]byte, n)
 	if _, err := io.ReadFull(sr.r, b); err != nil {
 		sr.err = fmt.Errorf("%w: truncated stream: %v", ErrSnapshotCorrupt, err)
@@ -346,7 +347,8 @@ func DecodeSnapshot(r io.Reader) (*Cache, error) {
 		Pairs:      NewPairStore(),
 		SketchTime: sketchTime,
 		pruneMax:   make(map[float64][]int32),
-		conc:       make([][]bool, p.schedulePoints()),
+		//lint:prealloc-ok schedulePoints ≤ MaxHashes/Step+1 and MaxHashes was validated ≤ maxSnapMaxHashes above
+		conc: make([][]bool, p.schedulePoints()),
 	}
 
 	// The sketch kind is a pure function of the measure (NewCache builds

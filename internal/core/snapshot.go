@@ -172,6 +172,7 @@ func (sr *sessReader) bytesN(n int) []byte {
 	if sr.err != nil {
 		return nil
 	}
+	//lint:prealloc-ok callers pass constant widths or lengths already validated ≤ snapMaxStringLen (str/blob)
 	b := make([]byte, n)
 	if _, err := io.ReadFull(sr.r, b); err != nil {
 		sr.err = fmt.Errorf("%w: truncated stream: %v", ErrSessionSnapshotCorrupt, err)

@@ -1,0 +1,270 @@
+// Package lint is plasmalint's engine: a stdlib-only static-analysis
+// framework (go/ast + go/types, export-data imports via the go tool) with
+// project-specific analyzers that encode invariants this codebase has
+// already shipped a bugfix for. Each analyzer exists because reviewer
+// memory failed once:
+//
+//   - mapiter:   PR 7 — CumulativeAPSS accumulated floats in Go-map
+//     iteration order, so curve points drifted by an ulp run to run.
+//   - atomicmix: PR 5 — SRP.gaussRow mixed atomic and plain access to the
+//     same field, a data race the race detector only catches when the
+//     schedule cooperates.
+//   - prealloc:  PR 4 — snapshot decoders preallocated slices from
+//     untrusted length fields, so a ~100-byte forged body could OOM the
+//     daemon.
+//   - httperr:   PR 6 — error paths that bypassed the JSON envelope were
+//     invisible to the stats and metrics counters.
+//   - lockorder: the documented hierarchy (Server.stateMu → Manager.mu,
+//     Session.appendMu → Cache.appendMu) is only prose; an inversion is a
+//     deadlock waiting for load.
+//
+// A finding prints as "file:line: [analyzer] message". A site that is
+// deliberate carries a "//lint:<analyzer>-ok <reason>" comment on the same
+// line or the line above; the reason is mandatory — a bare annotation is
+// itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the canonical "file:line: [analyzer] message" shape that
+// the driver prints and the golden tests assert.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Run reports raw findings; annotation suppression is the framework's
+	// job (see Lint), so analyzers stay oblivious to the escape hatch.
+	Run func(p *Package) []Finding
+}
+
+// Package is one type-checked package: what analyzers consume.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// annotation is one //lint:<name>-ok <reason> comment.
+type annotation struct {
+	analyzer string
+	reason   string
+	used     bool
+	pos      token.Position
+}
+
+const annotPrefix = "//lint:"
+
+// annotationsFor indexes a file's lint annotations by line.
+func annotationsFor(fset *token.FileSet, file *ast.File) map[string][]*annotation {
+	out := make(map[string][]*annotation)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, annotPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, annotPrefix)
+			name, reason, _ := strings.Cut(rest, " ")
+			if !strings.HasSuffix(name, "-ok") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			out[key] = append(out[key], &annotation{
+				analyzer: strings.TrimSuffix(name, "-ok"),
+				reason:   strings.TrimSpace(reason),
+				pos:      pos,
+			})
+		}
+	}
+	return out
+}
+
+// Lint runs the analyzers over one package and returns findings that
+// survive annotation suppression, sorted by position. An annotation
+// suppresses a finding of its analyzer on the same line or the line
+// directly below (i.e. the comment sits on the flagged line or immediately
+// above it). Annotations with no reason, and annotations that suppress
+// nothing, are findings themselves: the escape hatch must stay auditable.
+func Lint(p *Package, analyzers []*Analyzer) []Finding {
+	annots := make(map[string][]*annotation)
+	for _, f := range p.Files {
+		for k, v := range annotationsFor(p.Fset, f) {
+			annots[k] = v
+		}
+	}
+	lookup := func(an string, pos token.Position) *annotation {
+		for _, line := range []int{pos.Line, pos.Line - 1} {
+			for _, a := range annots[fmt.Sprintf("%s:%d", pos.Filename, line)] {
+				if a.analyzer == an {
+					return a
+				}
+			}
+		}
+		return nil
+	}
+
+	var out []Finding
+	for _, az := range analyzers {
+		for _, f := range az.Run(p) {
+			if a := lookup(az.Name, f.Pos); a != nil {
+				a.used = true
+				if a.reason == "" {
+					out = append(out, Finding{Pos: a.pos, Analyzer: az.Name,
+						Message: "annotation //lint:" + az.Name + "-ok needs a reason"})
+				}
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, az := range analyzers {
+		known[az.Name] = true
+	}
+	for _, as := range annots {
+		for _, a := range as {
+			if a.used {
+				continue
+			}
+			msg := "unused annotation //lint:" + a.analyzer + "-ok (no finding here — stale?)"
+			an := a.analyzer
+			if !known[an] {
+				msg = "annotation //lint:" + a.analyzer + "-ok names no known analyzer"
+				an = "lint"
+			}
+			out = append(out, Finding{Pos: a.pos, Analyzer: an, Message: msg})
+		}
+	}
+	sortFindings(out)
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ---- shared AST/type helpers ----
+
+// typeOf returns the type of e, or nil.
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if t, ok := info.Types[e]; ok {
+		return t.Type
+	}
+	return nil
+}
+
+// isMapType reports whether e has map type (after unaliasing).
+func isMapType(info *types.Info, e ast.Expr) bool {
+	t := typeOf(info, e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// calleePkgFunc resolves a call to (package path, function name) for
+// package-level functions, e.g. ("sync/atomic", "AddInt64"). Reports
+// ok=false for methods, builtins, and unresolved calls.
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (pkg, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj := info.Uses[sel.Sel]
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if fn.Signature().Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// fieldOf resolves a selector expression to the struct field it selects
+// along with the defining struct's named type, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) (field *types.Var, owner *types.Named) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	t := s.Recv()
+	for {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, _ := t.(*types.Named)
+	return v, named
+}
+
+// rootIdent walks to the leftmost identifier of a selector/index chain:
+// rootIdent(a.b[i].c) == a. Returns nil when the root is not an identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// pathMatch reports whether the package import path is, or is a child of,
+// one of the given paths. A pattern also matches by suffix so testdata
+// fixture packages (whose synthetic import paths are directory-shaped) can
+// stand in for real packages.
+func pathMatch(importPath string, pats []string) bool {
+	for _, p := range pats {
+		if importPath == p || strings.HasPrefix(importPath, p+"/") || strings.HasSuffix(importPath, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Lockorder is a per-function syntactic check that the documented lock
+// hierarchy is never acquired in reverse. The repo's two chains:
+//
+//	Server.stateMu → Manager.mu   (revive/spill/DELETE coordination)
+//	Session.appendMu → Cache.appendMu   (ingest vs snapshot serialization)
+//
+// Each chain orders an outer lock before an inner one; a function that
+// calls Inner.Lock() and then Outer.Lock() while the inner is still held
+// has inverted the hierarchy and can deadlock against the documented
+// path. The check is linear over each function body in source order —
+// deliberately simple-minded: it models `defer x.Unlock()` as held until
+// return, does not follow calls, and treats branches as straight-line
+// code. Sites where that approximation is wrong carry
+// //lint:lockorder-ok <reason>.
+type LockID struct {
+	// Pkg is an import-path pattern (prefix/suffix matched) of the package
+	// defining the type; Type the named struct; Field the mutex field.
+	Pkg, Type, Field string
+}
+
+// LockChain is one ordered hierarchy, outermost first.
+type LockChain []LockID
+
+// LockorderConfig lists the documented chains.
+type LockorderConfig struct {
+	Chains []LockChain
+}
+
+// NewLockorder builds the analyzer.
+func NewLockorder(cfg LockorderConfig) *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "lock-hierarchy inversions",
+		Run:  func(p *Package) []Finding { return runLockorder(p, cfg) },
+	}
+}
+
+func runLockorder(p *Package, cfg LockorderConfig) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, lockWalk(p, cfg, fd)...)
+		}
+	}
+	return out
+}
+
+// lockEvent is one Lock/Unlock call on a configured mutex.
+type lockEvent struct {
+	chain, rank int
+	acquire     bool
+	deferred    bool
+	call        *ast.CallExpr
+}
+
+func lockWalk(p *Package, cfg LockorderConfig, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	// held[chain] is the set of held ranks, in acquisition order.
+	held := make(map[int][]int)
+	name := func(chain, rank int) string {
+		id := cfg.Chains[chain][rank]
+		return id.Type + "." + id.Field
+	}
+	inDefer := 0
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if ds, ok := n.(*ast.DeferStmt); ok {
+				inDefer++
+				walk(ds.Call)
+				inDefer--
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ev, ok := classifyLockCall(p, cfg, call)
+			if !ok {
+				return true
+			}
+			ev.deferred = inDefer > 0
+			if ev.acquire {
+				if ev.deferred {
+					return true // defer x.Lock() — nonsense, ignore
+				}
+				for _, r := range held[ev.chain] {
+					if r > ev.rank {
+						out = append(out, Finding{
+							Pos:      p.Fset.Position(call.Pos()),
+							Analyzer: "lockorder",
+							Message: fmt.Sprintf("acquires %s while holding %s — the documented hierarchy is %s before %s (annotate //lint:lockorder-ok <reason> if the analysis is wrong)",
+								name(ev.chain, ev.rank), name(ev.chain, r),
+								name(ev.chain, ev.rank), name(ev.chain, r)),
+						})
+					}
+				}
+				held[ev.chain] = append(held[ev.chain], ev.rank)
+			} else if !ev.deferred {
+				// Explicit unlock releases the most recent matching rank;
+				// a deferred unlock keeps the lock held to function end.
+				hs := held[ev.chain]
+				for i := len(hs) - 1; i >= 0; i-- {
+					if hs[i] == ev.rank {
+						held[ev.chain] = append(hs[:i], hs[i+1:]...)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+	return out
+}
+
+// classifyLockCall matches <expr>.<Field>.Lock()/RLock()/Unlock()/RUnlock()
+// against the configured chains.
+func classifyLockCall(p *Package, cfg LockorderConfig, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return lockEvent{}, false
+	}
+	fieldSel, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	field, owner := fieldOf(p.Info, fieldSel)
+	if field == nil || owner == nil || owner.Obj().Pkg() == nil {
+		return lockEvent{}, false
+	}
+	pkgPath := owner.Obj().Pkg().Path()
+	for ci, chain := range cfg.Chains {
+		for ri, id := range chain {
+			if field.Name() != id.Field || owner.Obj().Name() != id.Type {
+				continue
+			}
+			if pkgPath == id.Pkg || strings.HasSuffix(pkgPath, id.Pkg) || strings.HasPrefix(pkgPath, id.Pkg+"/") {
+				return lockEvent{chain: ci, rank: ri, acquire: acquire, call: call}, true
+			}
+		}
+	}
+	return lockEvent{}, false
+}

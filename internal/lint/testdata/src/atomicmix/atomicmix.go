@@ -1,0 +1,45 @@
+// Package atomicmixtest is the atomicmix golden fixture: the PR 5
+// SRP.gaussRow bug class — one field touched through sync/atomic in one
+// function and with a bare read elsewhere.
+package atomicmixtest
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	calls int64
+	boot  int64
+	plain int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.calls, 1)
+	atomic.AddInt64(&c.boot, 1)
+}
+
+// read is the minimal historical bug: a bare read racing the atomic adds.
+func (c *counter) read() int64 {
+	return c.hits // want "non-atomic access to counter.hits"
+}
+
+// readAtomic is compliant: every access goes through the atomic API.
+func (c *counter) readAtomic() int64 {
+	return atomic.LoadInt64(&c.calls)
+}
+
+// newCounter shows the escape hatch: plain initialization before the value
+// is published cannot race.
+func newCounter() *counter {
+	c := &counter{}
+	//lint:atomicmix-ok value not yet published; pre-publication init cannot race
+	c.boot = 1
+	return c
+}
+
+// onlyPlain is untouched by the analyzer: the field is never accessed
+// atomically, so bare access is fine.
+func (c *counter) onlyPlain() int64 {
+	c.plain++
+	return c.plain
+}

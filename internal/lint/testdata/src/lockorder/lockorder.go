@@ -1,0 +1,58 @@
+// Package lockordertest is the lockorder golden fixture: the documented
+// hierarchy here is Server.stateMu before Manager.mu (mirroring the real
+// server's revive/spill coordination); acquiring them in reverse can
+// deadlock against any compliant path.
+package lockordertest
+
+import "sync"
+
+type Server struct{ stateMu sync.Mutex }
+
+type Manager struct{ mu sync.Mutex }
+
+type world struct {
+	srv Server
+	mgr Manager
+}
+
+// rightOrder follows the hierarchy.
+func rightOrder(w *world) {
+	w.srv.stateMu.Lock()
+	w.mgr.mu.Lock()
+	w.mgr.mu.Unlock()
+	w.srv.stateMu.Unlock()
+}
+
+// inverted is the minimal deadlock: inner held while acquiring outer.
+func inverted(w *world) {
+	w.mgr.mu.Lock()
+	w.srv.stateMu.Lock() // want "acquires Server.stateMu while holding Manager.mu"
+	w.srv.stateMu.Unlock()
+	w.mgr.mu.Unlock()
+}
+
+// releasedFirst is sequential, not nested: no inversion.
+func releasedFirst(w *world) {
+	w.mgr.mu.Lock()
+	w.mgr.mu.Unlock()
+	w.srv.stateMu.Lock()
+	w.srv.stateMu.Unlock()
+}
+
+// deferredInner keeps the inner lock held to function end, so the later
+// outer acquire still inverts the hierarchy.
+func deferredInner(w *world) {
+	w.mgr.mu.Lock()
+	defer w.mgr.mu.Unlock()
+	w.srv.stateMu.Lock() // want "acquires Server.stateMu while holding Manager.mu"
+	w.srv.stateMu.Unlock()
+}
+
+// annotated shows the escape hatch for a path the linear model gets wrong.
+func annotated(w *world) {
+	w.mgr.mu.Lock()
+	//lint:lockorder-ok single-threaded startup; no concurrent stateMu holder exists yet
+	w.srv.stateMu.Lock()
+	w.srv.stateMu.Unlock()
+	w.mgr.mu.Unlock()
+}
