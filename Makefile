@@ -4,7 +4,7 @@ GO ?= go
 BENCH_OUT ?= BENCH_new.json
 BENCH_SCALE ?= 100
 
-.PHONY: all build vet test short race lint fuzz bench bench-workers bench-repeat bench-json serve smoke-server smoke-cluster ci
+.PHONY: all build vet test short race lint lint-diff lint-fix-fingerprints fuzz bench bench-workers bench-repeat bench-json serve smoke-server smoke-cluster ci
 
 # fuzz time per target for the bounded CI pass (override for longer local runs).
 FUZZTIME ?= 15s
@@ -38,14 +38,33 @@ race:
 
 # lint is ci tier 1b: formatting drift (gofmt -l), vet regressions, and
 # plasmalint — the project-specific invariant analyzers in internal/lint
-# (mapiter, atomicmix, prealloc, httperr, lockorder), each encoding a bug
-# class this repo has already shipped a fix for. The tree must stay clean;
-# deliberate exceptions carry //lint:<analyzer>-ok <reason> annotations.
+# (mapiter, atomicmix, prealloc, httperr, lockorder, codecsym, codeclayout,
+# goleak), each encoding a bug class this repo has already shipped a fix
+# for. The tree must stay clean; deliberate exceptions carry
+# //lint:<analyzer>-ok <reason> annotations.
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt drift:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/plasmalint ./...
+
+# lint-diff is the tier-1b ratchet: plasmalint's machine-readable findings
+# (-json) diffed against scripts/lint-baseline.jsonl by scripts/lintdiff.sh.
+# Today the baseline is empty — lint already enforces a clean tree — but the
+# ratchet is what lets a future analyzer land before its backlog is fixed,
+# and it guards the -json schema CI consumes.
+lint-diff:
+	@tmp=$$(mktemp); \
+	$(GO) run ./cmd/plasmalint -json ./... > "$$tmp" || true; \
+	sh scripts/lintdiff.sh "$$tmp"; status=$$?; \
+	rm -f "$$tmp"; exit $$status
+
+# lint-fix-fingerprints regenerates the golden codec-layout fingerprints
+# under internal/lint/testdata/layouts after a deliberate wire-format change.
+# Bump the codec's version constant in the same commit, or the codeclayout
+# analyzer keeps failing on purpose.
+lint-fix-fingerprints:
+	$(GO) run ./cmd/plasmalint -fix-layouts ./...
 
 # fuzz runs each native fuzz target for $(FUZZTIME) on top of the checked-in
 # seed corpora in testdata/fuzz: the snapshot decoder (warm-start trust
@@ -87,4 +106,4 @@ smoke-server:
 smoke-cluster:
 	sh ./scripts/smoke-cluster.sh
 
-ci: vet build lint short race smoke-server smoke-cluster bench-json
+ci: vet build lint lint-diff short race smoke-server smoke-cluster bench-json

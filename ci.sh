@@ -8,8 +8,11 @@
 # Tier 1b (lint): gofmt drift, go vet, and plasmalint — the custom
 # invariant analyzers (internal/lint) that catch the repo's recurring bug
 # classes (map-order nondeterminism, mixed atomic access, unbounded decode
-# preallocation, envelope-bypassing error paths, lock-order inversions) in
-# seconds, before the race detector gets a chance.
+# preallocation, envelope-bypassing error paths, interprocedural lock-order
+# inversions, encode/decode layout asymmetry, unversioned wire-format
+# drift, leak-prone goroutine spawns) in seconds, before the race detector
+# gets a chance. The -json findings stream is then diffed against the
+# checked-in baseline by scripts/lintdiff.sh.
 # Tier 2 (race): race-detector pass over the concurrent engine, session,
 # and server packages.
 # Tier 3 (daemon smoke): boot plasmad on a random port, run a probe/curve/
@@ -30,11 +33,20 @@
 # the seconds-long experiment sweeps.
 set -eu
 
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
 echo "== tier 1: vet + build + short tests =="
 make vet build short
 
-echo "== tier 1b: lint (gofmt + vet + plasmalint) =="
-make lint
+echo "== tier 1b: lint (gofmt + vet + plasmalint + lintdiff) =="
+# Both plasmalint invocations (text gate, then -json for the lintdiff
+# ratchet) share one `go list -export -deps` walk — the dominant cost of a
+# cold plasmalint start — through a cache file scoped to this tier. The
+# variable is deliberately NOT exported for the whole script: the lint
+# tests inside `make short` load their own temp modules, which must not
+# see this module's package list.
+PLASMALINT_GOLIST_CACHE="$scratch/golist.json" make lint lint-diff
 
 echo "== tier 2: race detector on concurrent packages =="
 make race
@@ -46,8 +58,7 @@ echo "== tier 3b: plasmad 3-node cluster smoke =="
 make smoke-cluster
 
 echo "== tier 4: plasmabench machine-readable report =="
-bench_out=$(mktemp)
-trap 'rm -f "$bench_out"' EXIT
+bench_out="$scratch/bench.json"
 # The scale must match BENCH_baseline.json's: benchdiff only compares wall
 # times when scale and seed agree, so a mismatched scale would silently
 # reduce tier 4 to a schema-only gate.

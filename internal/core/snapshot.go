@@ -112,6 +112,7 @@ func (sw *sessWriter) Write(b []byte) (int, error) { // io.Writer for nested cod
 
 func (sw *sessWriter) bytes(b []byte) { _, _ = sw.Write(b) }
 func (sw *sessWriter) u8(v uint8)     { sw.bytes([]byte{v}) }
+func (sw *sessWriter) u16(v uint16)   { sw.bytes(binary.LittleEndian.AppendUint16(nil, v)) }
 func (sw *sessWriter) u32(v uint32)   { sw.bytes(binary.LittleEndian.AppendUint32(nil, v)) }
 func (sw *sessWriter) u64(v uint64)   { sw.bytes(binary.LittleEndian.AppendUint64(nil, v)) }
 func (sw *sessWriter) i64(v int64)    { sw.u64(uint64(v)) }
@@ -371,8 +372,7 @@ func (s *Session) Snapshot(w io.Writer) error {
 
 	sw := newSessWriter(w)
 	sw.bytes(sessSnapMagic[:])
-	b := binary.LittleEndian.AppendUint16(nil, SessionSnapshotVersion)
-	sw.bytes(b)
+	sw.u16(SessionSnapshotVersion)
 
 	specBlob, err := s.Spec.MarshalBinary()
 	if err != nil {

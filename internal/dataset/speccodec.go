@@ -32,58 +32,107 @@ func (s Spec) IsZero() bool {
 	return s.Kind == "" && s.Name == "" && s.Rows == 0 && s.Edges == 0 && s.Seed == 0
 }
 
+// specWriter / specReader mirror the snapshot codec helpers in shape —
+// one method per field kind — so the encode and decode field sequences
+// read symmetrically and plasmalint's codecsym analyzer can compare them.
+// This codec operates on an in-memory record, so there is no CRC or error
+// latching on the writer; the reader latches its first failure.
+type specWriter struct{ out []byte }
+
+func (w *specWriter) u8(v uint8)   { w.out = append(w.out, v) }
+func (w *specWriter) u64(v uint64) { w.out = binary.LittleEndian.AppendUint64(w.out, v) }
+
+// str16 writes a uint16 length prefix plus the bytes; callers bound the
+// length before encoding.
+func (w *specWriter) str16(s string) {
+	w.out = binary.LittleEndian.AppendUint16(w.out, uint16(len(s)))
+	w.out = append(w.out, s...)
+}
+
+type specReader struct {
+	data []byte
+	err  error
+}
+
+func (r *specReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrSpecCodec, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *specReader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.data) < n {
+		r.fail("truncated %s", what)
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+func (r *specReader) u8() uint8 {
+	b := r.take(1, "byte")
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *specReader) u64() uint64 {
+	b := r.take(8, "integer")
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *specReader) str16() string {
+	b := r.take(2, "length")
+	if b == nil {
+		return ""
+	}
+	return string(r.take(int(binary.LittleEndian.Uint16(b)), "string"))
+}
+
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (s Spec) MarshalBinary() ([]byte, error) {
 	if len(s.Kind) > 0xffff || len(s.Name) > 0xffff {
 		return nil, fmt.Errorf("dataset: spec kind/name too long to encode")
 	}
-	out := []byte{specCodecVersion}
-	out = binary.LittleEndian.AppendUint16(out, uint16(len(s.Kind)))
-	out = append(out, s.Kind...)
-	out = binary.LittleEndian.AppendUint16(out, uint16(len(s.Name)))
-	out = append(out, s.Name...)
-	out = binary.LittleEndian.AppendUint64(out, uint64(s.Rows))
-	out = binary.LittleEndian.AppendUint64(out, uint64(s.Edges))
-	out = binary.LittleEndian.AppendUint64(out, uint64(s.Seed))
-	return out, nil
+	w := &specWriter{}
+	w.u8(specCodecVersion)
+	w.str16(s.Kind)
+	w.str16(s.Name)
+	w.u64(uint64(s.Rows))
+	w.u64(uint64(s.Edges))
+	w.u64(uint64(s.Seed))
+	return w.out, nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler.
 func (s *Spec) UnmarshalBinary(data []byte) error {
+	r := &specReader{data: data}
 	if len(data) < 1 {
 		return fmt.Errorf("%w: empty", ErrSpecCodec)
 	}
-	if data[0] != specCodecVersion {
-		return fmt.Errorf("%w: unsupported version %d", ErrSpecCodec, data[0])
-	}
-	data = data[1:]
-	str := func() (string, error) {
-		if len(data) < 2 {
-			return "", fmt.Errorf("%w: truncated length", ErrSpecCodec)
-		}
-		n := int(binary.LittleEndian.Uint16(data))
-		data = data[2:]
-		if len(data) < n {
-			return "", fmt.Errorf("%w: truncated string", ErrSpecCodec)
-		}
-		v := string(data[:n])
-		data = data[n:]
-		return v, nil
+	if v := r.u8(); v != specCodecVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrSpecCodec, v)
 	}
 	var out Spec
-	var err error
-	if out.Kind, err = str(); err != nil {
-		return err
+	out.Kind = r.str16()
+	out.Name = r.str16()
+	out.Rows = int(int64(r.u64()))
+	out.Edges = int(int64(r.u64()))
+	out.Seed = int64(r.u64())
+	if r.err != nil {
+		return r.err
 	}
-	if out.Name, err = str(); err != nil {
-		return err
+	if n := len(r.data); n != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after spec record", ErrSpecCodec, n)
 	}
-	if len(data) != 24 {
-		return fmt.Errorf("%w: %d trailing bytes, want 24", ErrSpecCodec, len(data))
-	}
-	out.Rows = int(int64(binary.LittleEndian.Uint64(data)))
-	out.Edges = int(int64(binary.LittleEndian.Uint64(data[8:])))
-	out.Seed = int64(binary.LittleEndian.Uint64(data[16:]))
 	*s = out
 	return nil
 }

@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Module is the whole package set under analysis plus a lightweight
+// type-driven call graph over it. Per-package analyzers consume Packages
+// one at a time; interprocedural analyzers (lockorder, goleak) consume the
+// Module so a property proven about a callee is visible at every call
+// site. The graph is deliberately cheap and over-approximate:
+//
+//   - Static calls resolve through go/types to the declared function or
+//     method (cross-package in-module calls match by symbol, so the graph
+//     spans the module even though each package is type-checked alone).
+//   - Interface method calls are widened to every in-module method with
+//     the same name and arity — an over-approximation that trades
+//     precision for never missing a dynamic dispatch inside the module.
+//   - Calls through function values (fields, parameters, closures bound to
+//     variables) are NOT resolved. This is the known hole: a lock
+//     acquisition behind a callback is invisible. The repo convention is
+//     that hooks crossing a lock boundary document it at the hook site.
+//   - go-statement spawns are recorded as spawn edges, excluded from lock
+//     reachability (the spawned body runs on another goroutine, so its
+//     acquisitions are not ordered after the caller's held locks) but used
+//     by goleak to chase shutdown edges through helpers.
+//
+// FuncLit bodies are attributed to their enclosing declared function, the
+// same approximation the per-function lockorder walk has always made.
+type Module struct {
+	Pkgs []*Package
+
+	// funcs maps a canonical function key ("pkgpath.Recv.Name") to its
+	// declaration; keys lists them in deterministic (package, source) order.
+	funcs map[string]*moduleFunc
+	keys  []string
+	// methods is the interface-widening index, kept for analyzers (goleak)
+	// that re-resolve individual calls outside the prebuilt edge lists.
+	methods map[methodArity][]string
+}
+
+// moduleFunc is one declared function or method in the module.
+type moduleFunc struct {
+	key   string
+	pkg   *Package
+	decl  *ast.FuncDecl
+	calls []callSite // outgoing edges in source order
+}
+
+// callSite is one resolved call edge.
+type callSite struct {
+	callee string // key of the target function
+	pos    token.Pos
+	spawn  bool // true when the call is the operand of a go statement
+}
+
+// NewModule indexes the packages and builds the call graph.
+func NewModule(pkgs []*Package) *Module {
+	m := &Module{Pkgs: pkgs, funcs: make(map[string]*moduleFunc)}
+	for _, p := range pkgs {
+		for _, file := range p.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				key := funcKey(obj)
+				m.funcs[key] = &moduleFunc{key: key, pkg: p, decl: fd}
+				m.keys = append(m.keys, key)
+			}
+		}
+	}
+	// Method index for interface-call widening: name/arity → concrete
+	// in-module methods, in deterministic order.
+	methods := make(map[methodArity][]string)
+	for _, key := range m.keys {
+		mf := m.funcs[key]
+		if mf.decl.Recv == nil {
+			continue
+		}
+		obj := mf.pkg.Info.Defs[mf.decl.Name].(*types.Func)
+		sig := obj.Signature()
+		a := methodArity{obj.Name(), sig.Params().Len(), sig.Results().Len()}
+		methods[a] = append(methods[a], key)
+	}
+	m.methods = methods
+
+	for _, key := range m.keys {
+		mf := m.funcs[key]
+		spawnDepth := 0
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if gs, ok := n.(*ast.GoStmt); ok {
+					spawnDepth++
+					walk(gs.Call)
+					spawnDepth--
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, callee := range m.resolveCall(mf.pkg, call, methods) {
+					mf.calls = append(mf.calls, callSite{
+						callee: callee,
+						pos:    call.Pos(),
+						spawn:  spawnDepth > 0,
+					})
+				}
+				// Only the spawned call itself is a spawn edge; calls in its
+				// arguments run synchronously, but Inspect already visited
+				// them through walk(gs.Call) with spawnDepth raised — an
+				// over-approximation we accept (argument calls are rare and
+				// treating them as spawned only loses, never invents, lock
+				// edges; goleak chases the spawn operand explicitly).
+				return true
+			})
+		}
+		walk(mf.decl.Body)
+	}
+	return m
+}
+
+// methodArity is the interface-widening index key: method name plus
+// parameter/result counts.
+type methodArity struct {
+	name            string
+	params, results int
+}
+
+// resolveCall returns the canonical keys of a call's possible in-module
+// targets: the statically resolved function, or — for interface method
+// calls — every in-module method matching by name and arity.
+func (m *Module) resolveCall(p *Package, call *ast.CallExpr, methods map[methodArity][]string) []string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			if key := funcKey(fn); m.funcs[key] != nil {
+				return []string{key}
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := p.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		if sel, ok := p.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				sig := fn.Signature()
+				return methods[methodArity{fn.Name(), sig.Params().Len(), sig.Results().Len()}]
+			}
+		}
+		if key := funcKey(fn); m.funcs[key] != nil {
+			return []string{key}
+		}
+	}
+	return nil
+}
+
+// funcKey canonicalizes a *types.Func so the same symbol resolves to one
+// key whether it was type-checked from source or loaded from export data.
+func funcKey(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if recv := fn.Signature().Recv(); recv != nil {
+		t := recv.Type()
+		for {
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+				continue
+			}
+			break
+		}
+		name := "?"
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name()
+		}
+		return pkg + "." + name + "." + fn.Name()
+	}
+	return pkg + "." + fn.Name()
+}
+
+// shortFuncKey renders a key for messages: drop the module-path prefix,
+// keep pkg.Type.Name.
+func shortFuncKey(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// reverseReach computes, for a deterministic seed set of functions, the
+// set of functions from which a seed is reachable over non-spawn edges,
+// recording for each reacher the first hop of a witness path (BFS order,
+// so witnesses are shortest; ties break toward the earlier call site).
+type reachHop struct {
+	next string    // callee key on the witness path ("" for a seed)
+	pos  token.Pos // call position of that hop
+}
+
+func (m *Module) reverseReach(seeds map[string]token.Pos) map[string]reachHop {
+	reach := make(map[string]reachHop, len(seeds))
+	var frontier []string
+	for _, key := range m.keys { // deterministic seed order
+		if _, ok := seeds[key]; ok {
+			reach[key] = reachHop{}
+			frontier = append(frontier, key)
+		}
+	}
+	// Reverse adjacency, edges kept in (caller source) order.
+	callers := make(map[string][]struct {
+		caller string
+		pos    token.Pos
+	})
+	for _, key := range m.keys {
+		for _, cs := range m.funcs[key].calls {
+			if cs.spawn {
+				continue
+			}
+			callers[cs.callee] = append(callers[cs.callee], struct {
+				caller string
+				pos    token.Pos
+			}{key, cs.pos})
+		}
+	}
+	for len(frontier) > 0 {
+		var next []string
+		for _, callee := range frontier {
+			for _, in := range callers[callee] {
+				if _, seen := reach[in.caller]; seen {
+					continue
+				}
+				reach[in.caller] = reachHop{next: callee, pos: in.pos}
+				next = append(next, in.caller)
+			}
+		}
+		sort.Strings(next)
+		frontier = next
+	}
+	return reach
+}

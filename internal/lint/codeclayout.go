@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Codeclayout pins each codec's wire layout to a golden fingerprint tied
+// to its version constant. Codecsym proves encode and decode agree with
+// each other; this analyzer proves they agree with what is already on
+// disk in the wild: the fingerprint under testdata/layouts/ records the
+// encode-side layout and the version-constant value at the time it was
+// blessed, so a layout-affecting edit that forgets to bump the version —
+// the bug class PR 7's version-2 migrations exist to prevent — fails lint
+// instead of shipping a decoder that misreads every version-N snapshot
+// saved before the edit.
+//
+// The workflow: changed a codec on purpose? Bump its version constant AND
+// run `make lint-fix-fingerprints` to re-bless the golden. The analyzer
+// distinguishes the cases — layout drift with an unbumped version is the
+// dangerous one and says so; a bumped version or a fresh codec just asks
+// for regeneration.
+type CodeclayoutConfig struct {
+	// Pairs and Nested mirror the codecsym config (the fingerprint is the
+	// codecsym encode-side layout).
+	Pairs  []CodecPair
+	Nested map[string]string
+	// Dir holds the golden <pair>.layout files.
+	Dir string
+}
+
+// NewCodeclayout builds the analyzer.
+func NewCodeclayout(cfg CodeclayoutConfig) *Analyzer {
+	return &Analyzer{
+		Name:      "codeclayout",
+		Doc:       "codec layout changes without a version-constant bump",
+		RunModule: func(m *Module) []Finding { return runCodeclayout(m, cfg) },
+	}
+}
+
+func runCodeclayout(m *Module, cfg CodeclayoutConfig) []Finding {
+	var out []Finding
+	for _, pair := range cfg.Pairs {
+		enc := findFunc(m, pair.Pkg, pair.Encode)
+		if enc == nil {
+			continue // pair's package not in this run's set (codecsym reports half-pairs)
+		}
+		pos := enc.pkg.Fset.Position(enc.decl.Pos())
+		version, err := versionConstValue(enc.pkg, pair.Version)
+		if err != nil {
+			out = append(out, Finding{Pos: pos, Analyzer: "codeclayout",
+				Message: fmt.Sprintf("codec %q: %v", pair.Name, err)})
+			continue
+		}
+		layout := renderLayout(extractLayout(m, enc, cfg.Nested))
+		golden, err := readLayoutGolden(filepath.Join(cfg.Dir, pair.Name+".layout"))
+		if err != nil {
+			out = append(out, Finding{Pos: pos, Analyzer: "codeclayout",
+				Message: fmt.Sprintf("codec %q: no golden layout fingerprint (%v) — bless the current layout with `make lint-fix-fingerprints`", pair.Name, err)})
+			continue
+		}
+		switch {
+		case layout == golden.layout && version == golden.version:
+			// blessed
+		case layout != golden.layout && version == golden.version:
+			out = append(out, Finding{Pos: pos, Analyzer: "codeclayout",
+				Message: fmt.Sprintf("codec %q: wire layout changed but %s is still %s — old snapshots would be misread; bump the version constant and regenerate the fingerprint (make lint-fix-fingerprints). %s",
+					pair.Name, pair.Version, version, layoutDiff(golden.layout, layout))})
+		default:
+			out = append(out, Finding{Pos: pos, Analyzer: "codeclayout",
+				Message: fmt.Sprintf("codec %q: fingerprint is stale (golden %s=%s, source %s=%s) — regenerate with `make lint-fix-fingerprints`",
+					pair.Name, pair.Version, golden.version, pair.Version, version)})
+		}
+	}
+	return out
+}
+
+// versionConstValue resolves the pair's version constant in its package.
+func versionConstValue(p *Package, name string) (string, error) {
+	obj := p.Types.Scope().Lookup(name)
+	if obj == nil {
+		return "", fmt.Errorf("version constant %s not found in %s", name, p.ImportPath)
+	}
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return "", fmt.Errorf("%s in %s is %T, want a constant", name, p.ImportPath, obj)
+	}
+	return c.Val().String(), nil
+}
+
+// layoutGolden is one parsed fingerprint file.
+type layoutGolden struct {
+	version string
+	layout  string
+}
+
+func readLayoutGolden(path string) (layoutGolden, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return layoutGolden{}, err
+	}
+	var g layoutGolden
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, _ := strings.Cut(line, " ")
+		switch key {
+		case "version":
+			g.version = val
+		case "layout":
+			g.layout = val
+		}
+	}
+	if g.version == "" || g.layout == "" {
+		return layoutGolden{}, fmt.Errorf("malformed fingerprint %s: need `version` and `layout` lines", path)
+	}
+	return g, nil
+}
+
+// WriteLayoutGoldens regenerates every pair's fingerprint file — the
+// `plasmalint -fix-layouts` / `make lint-fix-fingerprints` path. Pairs
+// whose package is outside the loaded set are skipped.
+func WriteLayoutGoldens(m *Module, cfg CodeclayoutConfig) ([]string, error) {
+	var written []string
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	for _, pair := range cfg.Pairs {
+		enc := findFunc(m, pair.Pkg, pair.Encode)
+		if enc == nil {
+			continue
+		}
+		version, err := versionConstValue(enc.pkg, pair.Version)
+		if err != nil {
+			return written, fmt.Errorf("codec %q: %v", pair.Name, err)
+		}
+		layout := renderLayout(extractLayout(m, enc, cfg.Nested))
+		path := filepath.Join(cfg.Dir, pair.Name+".layout")
+		content := fmt.Sprintf("# plasmalint codeclayout fingerprint for codec %q.\n"+
+			"# Regenerate with `make lint-fix-fingerprints` — and bump %s if the\n"+
+			"# layout change is real, or every version-%s snapshot in the wild\n"+
+			"# will be misread.\n"+
+			"version %s\nlayout %s\n",
+			pair.Name, pair.Version, version, version, layout)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return written, err
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}

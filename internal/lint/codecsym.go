@@ -1,0 +1,584 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Codecsym checks that each paired binary encoder/decoder reads exactly
+// the bytes its counterpart writes. The snapshot codecs are hand-rolled
+// (writer.u32 ↔ reader.u32 and friends), so a field added to one side but
+// not the other compiles fine and fails only at restore time — or worse,
+// decodes shifted garbage that happens to pass bounds checks. The analyzer
+// extracts each side's ordered field-access layout and compares:
+//
+//   - An op is a method call on a package-local type whose name ends in
+//     "writer"/"reader" (snapWriter/snapReader, sessWriter/sessReader,
+//     specWriter/specReader) with a recognized field name: u8 u16 u32 u64
+//     i64 f32 f64 str str16 blob bytes/bytesN (fixed widths become
+//     bytes<N> when the width is a compile-time constant). Other methods
+//     on those types (finish, corrupt, Write) are framing, not fields.
+//   - Control flow becomes structure: loop bodies are loop(…), branch arms
+//     are alt(a | b), if/switch conditions contribute their ops before the
+//     branch. Same-package helpers that transitively perform ops
+//     (encodeDataset/decodeDataset) are inlined; calls into another
+//     codec's entry points — listed in Nested — collapse to one shared
+//     leaf so the nesting itself is checked without re-walking the callee.
+//   - Normalization makes equivalent shapes compare equal: branches with
+//     no ops disappear (error checks), a common op prefix shared by every
+//     arm is hoisted (both sides write the sketch-kind tag, one inside the
+//     branch and one before it), and a single surviving arm splices inline
+//     (the optional embedded dataset).
+//
+// The deliberate asymmetries stay invisible: defer bodies are skipped
+// (finish/verifyCRC handle the trailing CRC, which only one side writes
+// through the op set) and FuncLit bodies are skipped (callbacks run on the
+// callee's schedule).
+type CodecPair struct {
+	// Name labels the pair in messages and names its golden layout file.
+	Name string
+	// Pkg is an import-path pattern (prefix/suffix matched) of the package
+	// declaring both functions.
+	Pkg string
+	// Encode and Decode are the declared function or method names.
+	Encode, Decode string
+	// Version is the package-level version constant the codeclayout
+	// analyzer ties the golden fingerprint to.
+	Version string
+}
+
+// CodecsymConfig lists the codec pairs plus the nested-codec entry points.
+type CodecsymConfig struct {
+	Pairs []CodecPair
+	// Nested maps an encode entry point name to its decode counterpart;
+	// a call to either collapses to one shared leaf token.
+	Nested map[string]string
+}
+
+// NewCodecsym builds the analyzer.
+func NewCodecsym(cfg CodecsymConfig) *Analyzer {
+	return &Analyzer{
+		Name:      "codecsym",
+		Doc:       "encode/decode field-layout asymmetry in paired binary codecs",
+		RunModule: func(m *Module) []Finding { return runCodecsym(m, cfg) },
+	}
+}
+
+func runCodecsym(m *Module, cfg CodecsymConfig) []Finding {
+	var out []Finding
+	for _, pair := range cfg.Pairs {
+		enc, dec, f := resolvePair(m, pair)
+		if f != nil {
+			out = append(out, *f)
+			continue
+		}
+		if enc == nil || dec == nil {
+			continue // pair's package or functions not in this run's set
+		}
+		encL := renderLayout(extractLayout(m, enc, cfg.Nested))
+		decL := renderLayout(extractLayout(m, dec, cfg.Nested))
+		if encL == decL {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:      dec.pkg.Fset.Position(dec.decl.Pos()),
+			Analyzer: "codecsym",
+			Message: fmt.Sprintf("codec %q: encode/decode layouts disagree (%s) — %s writes [%s], %s reads [%s] (annotate //lint:codecsym-ok <reason> if the asymmetry is deliberate)",
+				pair.Name, layoutDiff(encL, decL), pair.Encode, encL, pair.Decode, decL),
+		})
+	}
+	return out
+}
+
+// resolvePair locates a pair's functions. Both absent means the pair's
+// package is outside this run (not an error: plasmalint may lint a
+// subset); exactly one absent is a finding — the codec lost half of
+// itself, or the config rotted.
+func resolvePair(m *Module, pair CodecPair) (enc, dec *moduleFunc, f *Finding) {
+	enc = findFunc(m, pair.Pkg, pair.Encode)
+	dec = findFunc(m, pair.Pkg, pair.Decode)
+	if (enc == nil) == (dec == nil) {
+		return enc, dec, nil
+	}
+	have, missing := enc, pair.Decode
+	if enc == nil {
+		have, missing = dec, pair.Encode
+	}
+	return nil, nil, &Finding{
+		Pos:      have.pkg.Fset.Position(have.decl.Pos()),
+		Analyzer: "codecsym",
+		Message: fmt.Sprintf("codec %q: found %s but not its counterpart %s — renamed without updating the lint config?",
+			pair.Name, have.decl.Name.Name, missing),
+	}
+}
+
+// findFunc locates a declared function or method in the packages matching
+// the pattern. name is "Func" or the receiver-qualified "Type.Func" (use
+// the latter when a bare method name is ambiguous in its package); first
+// declaration in package-load order wins.
+func findFunc(m *Module, pkgPat, name string) *moduleFunc {
+	for _, key := range m.keys {
+		mf := m.funcs[key]
+		if strings.HasSuffix(mf.key, "."+name) && pathMatch(mf.pkg.ImportPath, []string{pkgPat}) {
+			return mf
+		}
+	}
+	return nil
+}
+
+// ---- layout trees ----
+
+type layoutKind int
+
+const (
+	layoutOp   layoutKind = iota // one field access: tok is the op name
+	layoutSeq                    // ordered children
+	layoutLoop                   // repeated body
+	layoutAlt                    // branch arms (each kid a seq)
+	layoutLeaf                   // nested codec: tok is the shared token
+)
+
+type layoutNode struct {
+	kind layoutKind
+	tok  string
+	kids []*layoutNode
+}
+
+// codecOps are the writer/reader field methods and whether the op name
+// needs a width suffix resolved from the call site.
+var codecOps = map[string]bool{
+	"u8": false, "u16": false, "u32": false, "u64": false,
+	"i64": false, "f32": false, "f64": false,
+	"str": false, "str16": false, "blob": false,
+	"bytes": true, "bytesN": true,
+}
+
+// layoutExtractor walks one side of a codec pair.
+type layoutExtractor struct {
+	m        *Module
+	nested   map[string]string
+	visiting map[string]bool // inline recursion guard, by funcKey
+}
+
+// extractLayout returns the normalized layout sequence of fn's body.
+func extractLayout(m *Module, fn *moduleFunc, nested map[string]string) []*layoutNode {
+	x := &layoutExtractor{m: m, nested: nested, visiting: map[string]bool{fn.key: true}}
+	raw := x.stmts(fn.pkg, fn.decl.Body.List)
+	return normalizeLayout(&layoutNode{kind: layoutSeq, kids: raw})
+}
+
+func (x *layoutExtractor) stmts(p *Package, list []ast.Stmt) []*layoutNode {
+	var out []*layoutNode
+	for _, s := range list {
+		out = append(out, x.stmt(p, s)...)
+	}
+	return out
+}
+
+func (x *layoutExtractor) stmt(p *Package, s ast.Stmt) []*layoutNode {
+	switch s := s.(type) {
+	case nil:
+		return nil
+	case *ast.ExprStmt:
+		return x.expr(p, s.X)
+	case *ast.AssignStmt:
+		var out []*layoutNode
+		for _, e := range s.Rhs {
+			out = append(out, x.expr(p, e)...)
+		}
+		for _, e := range s.Lhs {
+			out = append(out, x.expr(p, e)...)
+		}
+		return out
+	case *ast.DeclStmt:
+		var out []*layoutNode
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						out = append(out, x.expr(p, e)...)
+					}
+				}
+			}
+		}
+		return out
+	case *ast.IfStmt:
+		out := x.stmt(p, s.Init)
+		out = append(out, x.expr(p, s.Cond)...)
+		branches := [][]*layoutNode{x.stmts(p, s.Body.List)}
+		if s.Else != nil {
+			branches = append(branches, x.stmt(p, s.Else))
+		}
+		return append(out, altOf(branches))
+	case *ast.ForStmt:
+		out := x.stmt(p, s.Init)
+		body := x.expr(p, s.Cond)
+		body = append(body, x.stmts(p, s.Body.List)...)
+		body = append(body, x.stmt(p, s.Post)...)
+		return append(out, &layoutNode{kind: layoutLoop, kids: body})
+	case *ast.RangeStmt:
+		out := x.expr(p, s.X)
+		return append(out, &layoutNode{kind: layoutLoop, kids: x.stmts(p, s.Body.List)})
+	case *ast.SwitchStmt:
+		out := x.stmt(p, s.Init)
+		out = append(out, x.expr(p, s.Tag)...)
+		var branches [][]*layoutNode
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			var b []*layoutNode
+			for _, e := range cc.List {
+				b = append(b, x.expr(p, e)...)
+			}
+			branches = append(branches, append(b, x.stmts(p, cc.Body)...))
+		}
+		return append(out, altOf(branches))
+	case *ast.TypeSwitchStmt:
+		out := x.stmt(p, s.Init)
+		out = append(out, x.stmt(p, s.Assign)...)
+		var branches [][]*layoutNode
+		for _, c := range s.Body.List {
+			branches = append(branches, x.stmts(p, c.(*ast.CaseClause).Body))
+		}
+		return append(out, altOf(branches))
+	case *ast.SelectStmt:
+		var branches [][]*layoutNode
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			branches = append(branches, append(x.stmt(p, cc.Comm), x.stmts(p, cc.Body)...))
+		}
+		return []*layoutNode{altOf(branches)}
+	case *ast.BlockStmt:
+		return x.stmts(p, s.List)
+	case *ast.ReturnStmt:
+		var out []*layoutNode
+		for _, e := range s.Results {
+			out = append(out, x.expr(p, e)...)
+		}
+		return out
+	case *ast.LabeledStmt:
+		return x.stmt(p, s.Stmt)
+	case *ast.IncDecStmt:
+		return x.expr(p, s.X)
+	case *ast.SendStmt:
+		return append(x.expr(p, s.Chan), x.expr(p, s.Value)...)
+	case *ast.DeferStmt, *ast.GoStmt:
+		return nil // framing (finish/verifyCRC) and detached work
+	default:
+		return nil
+	}
+}
+
+// expr collects ops in evaluation order: a call's receiver and arguments
+// before the call itself.
+func (x *layoutExtractor) expr(p *Package, e ast.Expr) []*layoutNode {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *ast.CallExpr:
+		var out []*layoutNode
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			out = append(out, x.expr(p, sel.X)...)
+		}
+		for _, a := range e.Args {
+			out = append(out, x.expr(p, a)...)
+		}
+		return append(out, x.call(p, e)...)
+	case *ast.FuncLit:
+		return nil
+	case *ast.ParenExpr:
+		return x.expr(p, e.X)
+	case *ast.UnaryExpr:
+		return x.expr(p, e.X)
+	case *ast.StarExpr:
+		return x.expr(p, e.X)
+	case *ast.BinaryExpr:
+		return append(x.expr(p, e.X), x.expr(p, e.Y)...)
+	case *ast.SelectorExpr:
+		return x.expr(p, e.X)
+	case *ast.IndexExpr:
+		return append(x.expr(p, e.X), x.expr(p, e.Index)...)
+	case *ast.SliceExpr:
+		out := x.expr(p, e.X)
+		out = append(out, x.expr(p, e.Low)...)
+		out = append(out, x.expr(p, e.High)...)
+		return append(out, x.expr(p, e.Max)...)
+	case *ast.TypeAssertExpr:
+		return x.expr(p, e.X)
+	case *ast.KeyValueExpr:
+		return x.expr(p, e.Value)
+	case *ast.CompositeLit:
+		var out []*layoutNode
+		for _, el := range e.Elts {
+			out = append(out, x.expr(p, el)...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// call classifies one call: a field op, a nested-codec leaf, an inlinable
+// same-package helper, or nothing.
+func (x *layoutExtractor) call(p *Package, call *ast.CallExpr) []*layoutNode {
+	if op, ok := classifyCodecOp(p, call); ok {
+		return []*layoutNode{{kind: layoutOp, tok: op}}
+	}
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return nil
+	}
+	if dec, ok := x.nested[fn.Name()]; ok {
+		return []*layoutNode{{kind: layoutLeaf, tok: "codec(" + fn.Name() + "/" + dec + ")"}}
+	}
+	for enc, dec := range x.nested {
+		if dec == fn.Name() {
+			return []*layoutNode{{kind: layoutLeaf, tok: "codec(" + enc + "/" + fn.Name() + ")"}}
+		}
+	}
+	// Inline a same-package helper, unless it is a writer/reader method
+	// (those are framing internals: str() calling u32+bytes must stay one
+	// op, not decompose).
+	if isCodecHelperRecv(p, fn) {
+		return nil
+	}
+	key := funcKey(fn)
+	mf := x.m.funcs[key]
+	if mf == nil || mf.pkg != p || x.visiting[key] {
+		return nil
+	}
+	x.visiting[key] = true
+	inner := x.stmts(p, mf.decl.Body.List)
+	delete(x.visiting, key)
+	return inner
+}
+
+// calleeFunc resolves a call to its declared *types.Func, or nil.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// classifyCodecOp matches a writer/reader field-method call and resolves
+// its op token (bytes calls gain a width suffix when it is knowable).
+func classifyCodecOp(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	widthy, isOp := codecOps[sel.Sel.Name]
+	if !isOp || !isWriterReaderType(p, typeOf(p.Info, sel.X)) {
+		return "", false
+	}
+	if !widthy {
+		return sel.Sel.Name, true
+	}
+	if len(call.Args) == 1 {
+		if w, ok := byteWidth(p, call.Args[0]); ok {
+			return fmt.Sprintf("bytes%d", w), true
+		}
+	}
+	return "bytes", true
+}
+
+// byteWidth resolves a bytes/bytesN argument to a fixed width: a constant
+// count (reader side) or a full slice of a fixed-size byte array (the
+// magic, writer side).
+func byteWidth(p *Package, arg ast.Expr) (int64, bool) {
+	if tv, ok := p.Info.Types[arg]; ok && tv.Value != nil {
+		if v, exact := constIntVal(tv); exact {
+			return v, true
+		}
+	}
+	if se, ok := ast.Unparen(arg).(*ast.SliceExpr); ok && se.Low == nil && se.High == nil {
+		if t := typeOf(p.Info, se.X); t != nil {
+			u := t.Underlying()
+			if ptr, ok := u.(*types.Pointer); ok {
+				u = ptr.Elem().Underlying()
+			}
+			if arr, ok := u.(*types.Array); ok {
+				return arr.Len(), true
+			}
+		}
+	}
+	return 0, false
+}
+
+func constIntVal(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	// constant.Int64Val panics on non-int kinds; go through the string for
+	// the tiny set of widths that occur.
+	var v int64
+	if _, err := fmt.Sscanf(tv.Value.String(), "%d", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// isWriterReaderType reports whether t names a package-local codec helper
+// type (name ends in "writer" or "reader", case-insensitive).
+func isWriterReaderType(p *Package, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	for {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != p.Types {
+		return false
+	}
+	n := strings.ToLower(named.Obj().Name())
+	return strings.HasSuffix(n, "writer") || strings.HasSuffix(n, "reader")
+}
+
+// isCodecHelperRecv reports whether fn is a method on a writer/reader type.
+func isCodecHelperRecv(p *Package, fn *types.Func) bool {
+	recv := fn.Signature().Recv()
+	return recv != nil && isWriterReaderType(p, recv.Type())
+}
+
+// ---- normalization and rendering ----
+
+func altOf(branches [][]*layoutNode) *layoutNode {
+	alt := &layoutNode{kind: layoutAlt}
+	for _, b := range branches {
+		alt.kids = append(alt.kids, &layoutNode{kind: layoutSeq, kids: b})
+	}
+	return alt
+}
+
+// normalizeLayout flattens sequences, drops op-free loops and branches,
+// hoists op prefixes shared by every branch arm, and splices single
+// surviving arms inline, so the two sides of a codec compare structurally.
+func normalizeLayout(n *layoutNode) []*layoutNode {
+	switch n.kind {
+	case layoutOp, layoutLeaf:
+		return []*layoutNode{n}
+	case layoutSeq:
+		var out []*layoutNode
+		for _, k := range n.kids {
+			out = append(out, normalizeLayout(k)...)
+		}
+		return out
+	case layoutLoop:
+		var body []*layoutNode
+		for _, k := range n.kids {
+			body = append(body, normalizeLayout(k)...)
+		}
+		if len(body) == 0 {
+			return nil
+		}
+		return []*layoutNode{{kind: layoutLoop, kids: body}}
+	case layoutAlt:
+		var branches [][]*layoutNode
+		for _, k := range n.kids {
+			branches = append(branches, normalizeLayout(k))
+		}
+		var prefix []*layoutNode
+		for {
+			branches = dropEmptyBranches(branches)
+			if len(branches) < 2 || !branchesShareHead(branches) {
+				break
+			}
+			prefix = append(prefix, branches[0][0])
+			for i := range branches {
+				branches[i] = branches[i][1:]
+			}
+		}
+		switch len(branches) {
+		case 0:
+			return prefix
+		case 1:
+			return append(prefix, branches[0]...)
+		default:
+			return append(prefix, altOf(branches))
+		}
+	}
+	return nil
+}
+
+func dropEmptyBranches(bs [][]*layoutNode) [][]*layoutNode {
+	out := bs[:0]
+	for _, b := range bs {
+		if len(b) > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func branchesShareHead(bs [][]*layoutNode) bool {
+	for _, b := range bs[1:] {
+		if !layoutEqual(bs[0][0], b[0]) {
+			return false
+		}
+	}
+	return true
+}
+
+func layoutEqual(a, b *layoutNode) bool {
+	if a.kind != b.kind || a.tok != b.tok || len(a.kids) != len(b.kids) {
+		return false
+	}
+	for i := range a.kids {
+		if !layoutEqual(a.kids[i], b.kids[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLayout produces the canonical single-line form used in messages
+// and golden fingerprints.
+func renderLayout(ns []*layoutNode) string {
+	var parts []string
+	for _, n := range ns {
+		parts = append(parts, renderNode(n))
+	}
+	return strings.Join(parts, " ")
+}
+
+func renderNode(n *layoutNode) string {
+	switch n.kind {
+	case layoutOp, layoutLeaf:
+		return n.tok
+	case layoutLoop:
+		return "loop(" + renderLayout(n.kids) + ")"
+	case layoutAlt:
+		var arms []string
+		for _, k := range n.kids {
+			arms = append(arms, renderLayout(k.kids))
+		}
+		return "alt(" + strings.Join(arms, " | ") + ")"
+	}
+	return "?"
+}
+
+// layoutDiff names the first point where two rendered layouts diverge.
+func layoutDiff(enc, dec string) string {
+	a, b := strings.Fields(enc), strings.Fields(dec)
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("first difference at token %d: encode %q vs decode %q", i+1, a[i], b[i])
+		}
+	}
+	if len(a) < len(b) {
+		return fmt.Sprintf("decode reads %d trailing token(s) encode never writes, starting with %q", len(b)-len(a), b[len(a)])
+	}
+	return fmt.Sprintf("encode writes %d trailing token(s) decode never reads, starting with %q", len(a)-len(b), a[len(b)])
+}

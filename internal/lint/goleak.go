@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goleak flags `go` statements whose goroutine has no shutdown edge — no
+// path to observing cancellation — in the packages where an orphan
+// outlives SIGTERM: the server's proxy/snapshot-transfer paths and the
+// blob store. PR 8's cluster work multiplied the spawn sites; a goroutine
+// that neither selects on ctx.Done(), receives from a done channel, nor
+// is tracked by a WaitGroup keeps running (or blocks forever) after
+// shutdown starts, holding connections and file handles the drain is
+// waiting on.
+//
+// A shutdown edge is any of, in the spawned body or any function it can
+// reach over the call graph:
+//
+//   - a ctx.Done() call on a context.Context
+//   - a receive from a `chan struct{}` (the done-channel idiom)
+//   - a `for range` over any channel (close() terminates it)
+//   - a Done() call on a sync.WaitGroup (the spawner's Wait() is its
+//     shutdown barrier)
+//
+// Spawns whose target cannot be resolved (function values, out-of-module
+// callees) are flagged too: the analyzer cannot prove them safe, and the
+// annotation documents why detachment is fine. Deliberately detached
+// goroutines — bounded one-shot sends to buffered channels — carry
+// //lint:goleak-ok <reason>.
+type GoleakConfig struct {
+	// Packages are import-path patterns (prefix/suffix matched) whose go
+	// statements are checked.
+	Packages []string
+}
+
+// NewGoleak builds the analyzer.
+func NewGoleak(cfg GoleakConfig) *Analyzer {
+	return &Analyzer{
+		Name:      "goleak",
+		Doc:       "goroutines with no shutdown edge in server/blob packages",
+		RunModule: func(m *Module) []Finding { return runGoleak(m, cfg) },
+	}
+}
+
+func runGoleak(m *Module, cfg GoleakConfig) []Finding {
+	// Functions containing a direct shutdown edge, then everything that
+	// can reach one over non-spawn call edges.
+	seeds := make(map[string]token.Pos)
+	for _, key := range m.keys {
+		mf := m.funcs[key]
+		if pos, ok := directShutdownEdge(mf.pkg, mf.decl.Body); ok {
+			seeds[key] = pos
+		}
+	}
+	reach := m.reverseReach(seeds)
+
+	var out []Finding
+	for _, key := range m.keys {
+		mf := m.funcs[key]
+		if !pathMatch(mf.pkg.ImportPath, cfg.Packages) {
+			continue
+		}
+		ast.Inspect(mf.decl.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !spawnHasShutdown(m, mf.pkg, gs, reach) {
+				out = append(out, Finding{
+					Pos:      mf.pkg.Fset.Position(gs.Pos()),
+					Analyzer: "goleak",
+					Message: fmt.Sprintf("goroutine spawned by %s has no shutdown edge (no ctx.Done/done-channel receive, not WaitGroup-tracked) — it can outlive SIGTERM (annotate //lint:goleak-ok <reason> if detachment is deliberate)",
+						shortFuncKey(key)),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// spawnHasShutdown decides one go statement: a FuncLit body is scanned
+// directly (plus its resolvable calls), a named target is checked for
+// reachability to a shutdown edge.
+func spawnHasShutdown(m *Module, p *Package, gs *ast.GoStmt, reach map[string]reachHop) bool {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		if _, ok := directShutdownEdge(p, lit.Body); ok {
+			return true
+		}
+		return anyCallReaches(m, p, lit.Body, reach)
+	}
+	for _, callee := range m.resolveCall(p, gs.Call, m.methods) {
+		if _, ok := reach[callee]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// anyCallReaches reports whether any resolvable call in the body leads to
+// a function with a shutdown edge. Nested go statements are skipped: a
+// grand-child goroutine's edge does not stop this one.
+func anyCallReaches(m *Module, p *Package, body ast.Node, reach map[string]reachHop) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, callee := range m.resolveCall(p, call, m.methods) {
+			if _, ok := reach[callee]; ok {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// directShutdownEdge scans one body for a cancellation observation.
+// Nested FuncLits count (a select wrapped in a closure still runs on this
+// goroutine unless spawned); nested go statements do not.
+func directShutdownEdge(p *Package, body ast.Node) (token.Pos, bool) {
+	var at token.Pos
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if isShutdownRecv(p, sel.X) {
+					at, found = n.Pos(), true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isDoneChan(p, n.X) {
+				at, found = n.Pos(), true
+			}
+		case *ast.RangeStmt:
+			if t := typeOf(p.Info, n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					at, found = n.Pos(), true
+				}
+			}
+		}
+		return true
+	})
+	return at, found
+}
+
+// isShutdownRecv reports whether e is a context.Context or sync.WaitGroup
+// — the receivers whose Done() constitutes a shutdown edge.
+func isShutdownRecv(p *Package, e ast.Expr) bool {
+	t := typeOf(p.Info, e)
+	if t == nil {
+		return false
+	}
+	for {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "context" && name == "Context") || (path == "sync" && name == "WaitGroup")
+}
+
+// isDoneChan reports whether e is a channel of empty structs.
+func isDoneChan(p *Package, e ast.Expr) bool {
+	t := typeOf(p.Info, e)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

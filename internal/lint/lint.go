@@ -38,6 +38,12 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Chain, when non-empty, is the call path that makes an
+	// interprocedural finding true (outermost caller first, the offending
+	// primitive site last). It rides along in -json output so CI tooling
+	// can de-duplicate findings whose surface line moved but whose cause
+	// did not.
+	Chain []string
 }
 
 // String renders the canonical "file:line: [analyzer] message" shape that
@@ -46,13 +52,19 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
 }
 
-// Analyzer is one invariant checker.
+// Analyzer is one invariant checker. Exactly one of Run and RunModule is
+// set: Run sees one type-checked package at a time; RunModule sees the
+// whole package set plus the call graph (the interprocedural analyzers —
+// lockorder, goleak — need a property of a callee to be visible at a call
+// site in another package).
 type Analyzer struct {
 	Name string
 	Doc  string
 	// Run reports raw findings; annotation suppression is the framework's
 	// job (see Lint), so analyzers stay oblivious to the escape hatch.
 	Run func(p *Package) []Finding
+	// RunModule is the module-scoped variant, invoked once per lint run.
+	RunModule func(m *Module) []Finding
 }
 
 // Package is one type-checked package: what analyzers consume.
@@ -74,7 +86,10 @@ type annotation struct {
 
 const annotPrefix = "//lint:"
 
-// annotationsFor indexes a file's lint annotations by line.
+// annotationsFor indexes a file's lint annotations by line. One comment
+// may carry several annotations ("//lint:a-ok reason //lint:b-ok reason"),
+// so a single line flagged by two analyzers can excuse both; each
+// annotation's reason runs up to the next "//lint:" marker.
 func annotationsFor(fset *token.FileSet, file *ast.File) map[string][]*annotation {
 	out := make(map[string][]*annotation)
 	for _, cg := range file.Comments {
@@ -83,34 +98,73 @@ func annotationsFor(fset *token.FileSet, file *ast.File) map[string][]*annotatio
 			if !strings.HasPrefix(text, annotPrefix) {
 				continue
 			}
-			rest := strings.TrimPrefix(text, annotPrefix)
-			name, reason, _ := strings.Cut(rest, " ")
-			if !strings.HasSuffix(name, "-ok") {
-				continue
-			}
 			pos := fset.Position(c.Pos())
 			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-			out[key] = append(out[key], &annotation{
-				analyzer: strings.TrimSuffix(name, "-ok"),
-				reason:   strings.TrimSpace(reason),
-				pos:      pos,
-			})
+			for _, seg := range splitAnnotations(text) {
+				name, reason, _ := strings.Cut(seg, " ")
+				if !strings.HasSuffix(name, "-ok") {
+					continue
+				}
+				out[key] = append(out[key], &annotation{
+					analyzer: strings.TrimSuffix(name, "-ok"),
+					reason:   strings.TrimSpace(reason),
+					pos:      pos,
+				})
+			}
 		}
 	}
 	return out
 }
 
+// splitAnnotations cuts a "//lint:…" comment into its annotation segments,
+// each starting right after an annotPrefix occurrence.
+func splitAnnotations(text string) []string {
+	var segs []string
+	rest := strings.TrimPrefix(text, annotPrefix)
+	for {
+		if i := strings.Index(rest, annotPrefix); i >= 0 {
+			segs = append(segs, strings.TrimSpace(rest[:i]))
+			rest = rest[i+len(annotPrefix):]
+			continue
+		}
+		segs = append(segs, strings.TrimSpace(rest))
+		return segs
+	}
+}
+
 // Lint runs the analyzers over one package and returns findings that
-// survive annotation suppression, sorted by position. An annotation
+// survive annotation suppression, sorted by position. It is the
+// single-package convenience wrapper over LintModule; the golden-fixture
+// tests use it, the driver lints the whole module at once.
+func Lint(p *Package, analyzers []*Analyzer) []Finding {
+	return LintModule(NewModule([]*Package{p}), analyzers)
+}
+
+// LintModule runs the analyzers over the whole package set — per-package
+// analyzers on each package, module analyzers once — and returns findings
+// that survive annotation suppression, sorted by position. An annotation
 // suppresses a finding of its analyzer on the same line or the line
 // directly below (i.e. the comment sits on the flagged line or immediately
 // above it). Annotations with no reason, and annotations that suppress
 // nothing, are findings themselves: the escape hatch must stay auditable.
-func Lint(p *Package, analyzers []*Analyzer) []Finding {
+//
+// Generated files (per the standard "Code generated … DO NOT EDIT."
+// marker) are exempt end to end: no findings are reported in them and
+// their annotations are neither honoured nor reported stale — generated
+// code is the generator's problem, not the tree's. Packages under
+// testdata never reach here at all (the go tool refuses to list them).
+func LintModule(m *Module, analyzers []*Analyzer) []Finding {
 	annots := make(map[string][]*annotation)
-	for _, f := range p.Files {
-		for k, v := range annotationsFor(p.Fset, f) {
-			annots[k] = v
+	generated := make(map[string]bool)
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			if ast.IsGenerated(f) {
+				generated[p.Fset.Position(f.Pos()).Filename] = true
+				continue
+			}
+			for k, v := range annotationsFor(p.Fset, f) {
+				annots[k] = v
+			}
 		}
 	}
 	lookup := func(an string, pos token.Position) *annotation {
@@ -126,7 +180,18 @@ func Lint(p *Package, analyzers []*Analyzer) []Finding {
 
 	var out []Finding
 	for _, az := range analyzers {
-		for _, f := range az.Run(p) {
+		var raw []Finding
+		if az.RunModule != nil {
+			raw = az.RunModule(m)
+		} else {
+			for _, p := range m.Pkgs {
+				raw = append(raw, az.Run(p)...)
+			}
+		}
+		for _, f := range raw {
+			if generated[f.Pos.Filename] {
+				continue
+			}
 			if a := lookup(az.Name, f.Pos); a != nil {
 				a.used = true
 				if a.reason == "" {

@@ -3,6 +3,7 @@ package lint
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -140,11 +141,153 @@ func TestHTTPErrGolden(t *testing.T) {
 	}), "httperr")
 }
 
-func TestLockorderGolden(t *testing.T) {
-	runGolden(t, NewLockorder(LockorderConfig{Chains: []LockChain{{
+func fixtureChains() []LockChain {
+	return []LockChain{{
 		{Pkg: "src/lockorder", Type: "Server", Field: "stateMu"},
 		{Pkg: "src/lockorder", Type: "Manager", Field: "mu"},
-	}}}), "lockorder")
+	}}
+}
+
+func TestLockorderGolden(t *testing.T) {
+	runGolden(t, NewLockorder(LockorderConfig{
+		Chains:          fixtureChains(),
+		Interprocedural: true,
+	}), "lockorder")
+}
+
+// TestLockorderV1MissesTwoHop proves the interprocedural layer earns its
+// keep: with Interprocedural off, the per-function walk still catches the
+// direct inversions but cannot see the seeded two-hop one (twoHop →
+// hopOne → hopTwo), which the call-graph layer reports with a witness
+// chain ending at the Lock() site.
+func TestLockorderV1MissesTwoHop(t *testing.T) {
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", "lockorder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := sharedLoader(t).LoadDir(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := Lint(pkg, []*Analyzer{NewLockorder(LockorderConfig{Chains: fixtureChains()})})
+	if len(v1) != 2 {
+		t.Errorf("v1 found %d findings, want exactly the 2 direct inversions: %v", len(v1), v1)
+	}
+	for _, f := range v1 {
+		if strings.Contains(f.Message, "hopOne") {
+			t.Errorf("intraprocedural lockorder unexpectedly saw the two-hop inversion: %s", f)
+		}
+	}
+	v2 := Lint(pkg, []*Analyzer{NewLockorder(LockorderConfig{
+		Chains: fixtureChains(), Interprocedural: true,
+	})})
+	wantChain := []string{"lockorder.twoHop", "lockorder.hopOne", "lockorder.hopTwo", "Server.stateMu.Lock"}
+	found := false
+	for _, f := range v2 {
+		if !strings.Contains(f.Message, "calls lockorder.hopOne while holding Manager.mu") {
+			continue
+		}
+		found = true
+		if fmt.Sprint(f.Chain) != fmt.Sprint(wantChain) {
+			t.Errorf("two-hop witness chain = %v, want %v", f.Chain, wantChain)
+		}
+	}
+	if !found {
+		t.Errorf("interprocedural lockorder missed the seeded two-hop inversion: %v", v2)
+	}
+}
+
+func TestCodecsymGolden(t *testing.T) {
+	runGolden(t, NewCodecsym(CodecsymConfig{
+		Pairs: []CodecPair{
+			{Name: "good", Pkg: "src/codecsym", Encode: "encodeGood", Decode: "decodeGood"},
+			{Name: "swapped", Pkg: "src/codecsym", Encode: "encodeBad", Decode: "decodeBad"},
+			{Name: "half", Pkg: "src/codecsym", Encode: "encodeHalf", Decode: "decodeHalf"},
+			{Name: "outer", Pkg: "src/codecsym", Encode: "encodeOuter", Decode: "decodeOuter"},
+		},
+		Nested: map[string]string{"encodeGood": "decodeGood"},
+	}), "codecsym")
+}
+
+func TestGoleakGolden(t *testing.T) {
+	runGolden(t, NewGoleak(GoleakConfig{Packages: []string{"src/goleak"}}), "goleak")
+}
+
+// TestCodeclayout walks the fingerprint lifecycle against a throwaway
+// codec: fresh (no golden), blessed, layout drift without a version bump
+// (the dangerous case, called out as such), and a bumped version with a
+// stale fingerprint.
+func TestCodeclayout(t *testing.T) {
+	srcDir := t.TempDir()
+	src := `package layoutfix
+
+type fixWriter struct{ out []byte }
+
+func (w *fixWriter) u8(v uint8)   { w.out = append(w.out, v) }
+func (w *fixWriter) u32(v uint32) { w.out = append(w.out, byte(v)) }
+
+const fixVersion = 1
+
+func encodeFix() []byte {
+	w := &fixWriter{}
+	w.u8(fixVersion)
+	w.u32(42)
+	return w.out
+}
+`
+	if err := os.WriteFile(filepath.Join(srcDir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := sharedLoader(t).LoadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModule([]*Package{pkg})
+	goldDir := t.TempDir()
+	cfg := CodeclayoutConfig{
+		Pairs: []CodecPair{{Name: "fix", Pkg: srcDir, Encode: "encodeFix", Decode: "decodeFix", Version: "fixVersion"}},
+		Dir:   goldDir,
+	}
+	az := NewCodeclayout(cfg)
+	goldenPath := filepath.Join(goldDir, "fix.layout")
+
+	expect := func(stage, wantSub string) {
+		t.Helper()
+		findings := LintModule(m, []*Analyzer{az})
+		if wantSub == "" {
+			if len(findings) != 0 {
+				t.Fatalf("%s: got findings %v, want none", stage, findings)
+			}
+			return
+		}
+		if len(findings) != 1 || !strings.Contains(findings[0].Message, wantSub) {
+			t.Fatalf("%s: findings = %v, want one containing %q", stage, findings, wantSub)
+		}
+	}
+
+	expect("fresh codec", "no golden layout fingerprint")
+
+	written, err := WriteLayoutGoldens(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(written) != 1 || written[0] != goldenPath {
+		t.Fatalf("WriteLayoutGoldens wrote %v, want [%s]", written, goldenPath)
+	}
+	expect("blessed", "")
+
+	// Golden records a different layout under the same version: the edit
+	// that silently breaks every deployed snapshot.
+	if err := os.WriteFile(goldenPath, []byte("version 1\nlayout u8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expect("layout drift, version unbumped", "bump the version constant")
+
+	// Version moved on but the fingerprint was never regenerated.
+	if err := os.WriteFile(goldenPath, []byte("version 2\nlayout u8 u32\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expect("stale fingerprint", "regenerate with `make lint-fix-fingerprints`")
 }
 
 // TestAnnotationHygiene pins the framework rules around the escape hatch:
@@ -187,6 +330,172 @@ func stale(xs []int) int {
 	}
 	if !strings.Contains(findings[1].Message, "unused annotation") {
 		t.Errorf("finding 1 = %s, want stale-annotation finding", findings[1])
+	}
+}
+
+// loadSnippet type-checks one in-test source file and returns the package.
+func loadSnippet(t *testing.T, filename, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, filename), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := sharedLoader(t).LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// TestAnnotationMultilineStatement pins that an annotation suppresses a
+// finding anchored to the line below it even when the flagged statement
+// spans several lines — the finding position is the statement's first
+// line, which is what the annotation scanner keys on.
+func TestAnnotationMultilineStatement(t *testing.T) {
+	pkg := loadSnippet(t, "decode.go", `package annot
+
+func decodeRows(n uint32) []float64 {
+	//lint:prealloc-ok n is cross-checked against the blob length above
+	out := make(
+		[]float64,
+		n,
+	)
+	return out
+}
+`)
+	findings := Lint(pkg, []*Analyzer{NewPrealloc(PreallocConfig{Files: []string{"decode.go"}})})
+	if len(findings) != 0 {
+		t.Errorf("annotation above multi-line make did not suppress: %v", findings)
+	}
+}
+
+// TestAnnotationTwoAnalyzersOneLine pins splitAnnotations: one comment
+// line carrying annotations for two different analyzers suppresses both
+// findings on the statement below. The unannotated twin package proves
+// both analyzers actually fire on that line.
+func TestAnnotationTwoAnalyzersOneLine(t *testing.T) {
+	body := func(annot string) string {
+		return `package annot2
+
+var sink []float64
+
+func accumulate(m map[string]float64, n int) float64 {
+	total := 0.0
+` + annot + `	for _, v := range m { total += v; sink = make([]float64, n) }
+	return total
+}
+`
+	}
+	azs := func(pkg *Package) []*Analyzer {
+		return []*Analyzer{
+			NewMapiter(MapiterConfig{Packages: []string{pkg.ImportPath}}),
+			NewPrealloc(PreallocConfig{Files: []string{"decode.go"}}),
+		}
+	}
+	bare := loadSnippet(t, "decode.go", body(""))
+	if got := Lint(bare, azs(bare)); len(got) != 2 {
+		t.Fatalf("unannotated twin: %d findings, want 2 (mapiter + prealloc): %v", len(got), got)
+	}
+	annotated := loadSnippet(t, "decode.go",
+		body("\t//lint:mapiter-ok order-independent sum //lint:prealloc-ok n is a bounded fixture size\n"))
+	if got := Lint(annotated, azs(annotated)); len(got) != 0 {
+		t.Errorf("two annotations on one line did not suppress both analyzers: %v", got)
+	}
+}
+
+// TestAnnotationGeneratedFile pins that generated files are exempt end to
+// end: no findings are reported in them, and their annotations are
+// neither honoured nor reported stale.
+func TestAnnotationGeneratedFile(t *testing.T) {
+	pkg := loadSnippet(t, "gen.go", `// Code generated by fixturegen. DO NOT EDIT.
+
+package gen
+
+import "fmt"
+
+func emit(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+func clean(xs []int) {
+	//lint:mapiter-ok this would be a stale-annotation finding in a hand-written file
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}
+`)
+	findings := Lint(pkg, []*Analyzer{NewMapiter(MapiterConfig{Packages: []string{pkg.ImportPath}})})
+	if len(findings) != 0 {
+		t.Errorf("generated file produced findings: %v", findings)
+	}
+}
+
+// ---- loader tests ----
+
+// TestLoaderSingleCheck asserts the load-once contract: every package is
+// parsed and type-checked exactly once no matter how many times it is
+// requested or how many analyzers consume it — the analyzers share one
+// types.Info/AST through the Module.
+func TestLoaderSingleCheck(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/core/a.go":   "package core\n\nfunc A() int { return 1 }\n",
+		"internal/server/b.go": "package server\n\nfunc B() int { return 2 }\n",
+	})
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("Expand = %v, want 2 packages", paths)
+	}
+	var pkgs []*Package
+	for round := 0; round < 2; round++ {
+		for _, path := range paths {
+			pkg, err := loader.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if round == 0 {
+				pkgs = append(pkgs, pkg)
+			}
+		}
+	}
+	LintModule(NewModule(pkgs), DefaultAnalyzers(dir))
+	if got := loader.Checks(); got != len(paths) {
+		t.Errorf("loader ran %d parse+type-check passes for %d packages; loads are not shared", got, len(paths))
+	}
+}
+
+// TestLoaderGolistCache pins the PLASMALINT_GOLIST_CACHE contract ci.sh
+// relies on: the first loader writes the `go list -export -deps` output
+// to the cache file, and a second loader serves its package index
+// entirely from it — proven by rooting the second loader in a directory
+// that is not a module at all.
+func TestLoaderGolistCache(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/core/ok.go": "package core\n\nfunc OK() {}\n",
+	})
+	cache := filepath.Join(t.TempDir(), "golist.json")
+	t.Setenv("PLASMALINT_GOLIST_CACHE", cache)
+	if _, err := NewLoader(dir); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(cache)
+	if err != nil || info.Size() == 0 {
+		t.Fatalf("first loader did not populate the cache file: %v", err)
+	}
+	l2, err := NewLoader(t.TempDir())
+	if err != nil {
+		t.Fatalf("cached loader in a non-module dir: %v", err)
+	}
+	if _, err := l2.Load("plasmahd/internal/core"); err != nil {
+		t.Fatalf("loading through the cache: %v", err)
 	}
 }
 
@@ -291,6 +600,46 @@ func inverted(s *Server, m *Manager) {
 	m.mu.Unlock()
 }
 `,
+		// codec.go seeds codecsym (transposed decode) and codeclayout (no
+		// golden fingerprint exists under this throwaway module root).
+		"internal/core/codec.go": `package core
+
+type sessWriter struct{ out []byte }
+
+func (w *sessWriter) u32(v uint32) { w.out = append(w.out, byte(v)) }
+func (w *sessWriter) u64(v uint64) { w.out = append(w.out, byte(v)) }
+
+type sessReader struct{ data []byte }
+
+func (r *sessReader) u32() uint32 { return 0 }
+func (r *sessReader) u64() uint64 { return 0 }
+
+const SessionSnapshotVersion uint16 = 2
+
+type Session struct{}
+
+func (s *Session) Snapshot() []byte {
+	w := &sessWriter{}
+	w.u32(1)
+	w.u64(2)
+	return w.out
+}
+
+func RestoreSession(data []byte) *Session {
+	r := &sessReader{data: data}
+	r.u64()
+	r.u32()
+	return &Session{}
+}
+`,
+		"internal/server/spawn.go": `package server
+
+func tick() {}
+
+func kick() {
+	go tick()
+}
+`,
 	})
 	cmd := exec.Command(plasmalintBin(t), "./...")
 	cmd.Dir = dir
@@ -303,7 +652,7 @@ func inverted(s *Server, m *Manager) {
 		t.Fatalf("exit = %v, want exit status 1\nstdout:\n%s\nstderr:\n%s", err, &stdout, &stderr)
 	}
 
-	lineRe := regexp.MustCompile(`^[^:\s]+\.go:\d+: \[(mapiter|atomicmix|prealloc|httperr|lockorder)\] .+$`)
+	lineRe := regexp.MustCompile(`^[^:\s]+\.go:\d+: \[(mapiter|atomicmix|prealloc|httperr|lockorder|codecsym|codeclayout|goleak)\] .+$`)
 	seen := map[string]bool{}
 	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
 	for _, line := range lines {
@@ -314,13 +663,76 @@ func inverted(s *Server, m *Manager) {
 		}
 		seen[m[1]] = true
 	}
-	for _, az := range []string{"mapiter", "atomicmix", "prealloc", "httperr", "lockorder"} {
+	for _, az := range []string{"mapiter", "atomicmix", "prealloc", "httperr", "lockorder", "codecsym", "codeclayout", "goleak"} {
 		if !seen[az] {
 			t.Errorf("no finding from %s in output:\n%s", az, &stdout)
 		}
 	}
 	if !strings.Contains(stderr.String(), "finding(s)") {
 		t.Errorf("stderr %q missing findings summary", stderr.String())
+	}
+}
+
+// TestDriverJSON pins the machine-readable schema scripts/lintdiff.sh
+// consumes: one JSON object per line with exactly file / line / analyzer /
+// message / chain, chain always an array (never null), and lockorder's
+// interprocedural findings carrying their witness chain through it.
+func TestDriverJSON(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/server/locks.go": `package server
+
+import "sync"
+
+type Server struct{ stateMu sync.Mutex }
+type Manager struct{ mu sync.Mutex }
+
+func twoHop(s *Server, m *Manager) {
+	m.mu.Lock()
+	hop(s)
+	m.mu.Unlock()
+}
+
+func hop(s *Server) {
+	s.stateMu.Lock()
+	s.stateMu.Unlock()
+}
+`,
+	})
+	cmd := exec.Command(plasmalintBin(t), "-json", "./...")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("exit = %v, want exit status 1\nstdout:\n%s\nstderr:\n%s", err, &stdout, &stderr)
+	}
+	var sawChain bool
+	for _, line := range strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n") {
+		var f struct {
+			File     string    `json:"file"`
+			Line     int       `json:"line"`
+			Analyzer string    `json:"analyzer"`
+			Message  string    `json:"message"`
+			Chain    *[]string `json:"chain"`
+		}
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("non-JSON output line %q: %v", line, err)
+		}
+		if f.File == "" || f.Line <= 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding with empty required field: %s", line)
+		}
+		if f.Chain == nil {
+			t.Errorf("chain is null, want an array: %s", line)
+		} else if len(*f.Chain) > 0 {
+			sawChain = true
+			if got := (*f.Chain)[len(*f.Chain)-1]; got != "Server.stateMu.Lock" {
+				t.Errorf("witness chain %v does not end at the Lock site", *f.Chain)
+			}
+		}
+	}
+	if !sawChain {
+		t.Errorf("no finding carried a witness chain:\n%s", &stdout)
 	}
 }
 

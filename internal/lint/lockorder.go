@@ -3,23 +3,34 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
-// Lockorder is a per-function syntactic check that the documented lock
-// hierarchy is never acquired in reverse. The repo's two chains:
+// Lockorder checks that the documented lock hierarchy is never acquired in
+// reverse. The repo's two chains:
 //
 //	Server.stateMu → Manager.mu   (revive/spill/DELETE coordination)
 //	Session.appendMu → Cache.appendMu   (ingest vs snapshot serialization)
 //
-// Each chain orders an outer lock before an inner one; a function that
-// calls Inner.Lock() and then Outer.Lock() while the inner is still held
-// has inverted the hierarchy and can deadlock against the documented
-// path. The check is linear over each function body in source order —
-// deliberately simple-minded: it models `defer x.Unlock()` as held until
-// return, does not follow calls, and treats branches as straight-line
-// code. Sites where that approximation is wrong carry
-// //lint:lockorder-ok <reason>.
+// Each chain orders an outer lock before an inner one; acquiring the outer
+// while the inner is held inverts the hierarchy and can deadlock against
+// the documented path. Two layers:
+//
+//   - Per-function (v1): a linear source-order walk of each body that
+//     models `defer x.Unlock()` as held until return and treats branches
+//     as straight-line code.
+//   - Interprocedural (v2): with Interprocedural set, every call site is
+//     checked against the module call graph — holding an inner lock and
+//     calling anything that can transitively reach an acquisition of an
+//     outer lock in the same chain is a finding, with the witness call
+//     chain reported. Spawned (`go`) calls are excluded: the spawned body
+//     runs on its own goroutine, so its acquisitions are not ordered
+//     after the caller's held locks. Calls through function values are
+//     not resolved (see Module) — hooks crossing a lock boundary document
+//     the ordering at the hook site.
+//
+// Sites where the approximation is wrong carry //lint:lockorder-ok <reason>.
 type LockID struct {
 	// Pkg is an import-path pattern (prefix/suffix matched) of the package
 	// defining the type; Type the named struct; Field the mutex field.
@@ -29,32 +40,94 @@ type LockID struct {
 // LockChain is one ordered hierarchy, outermost first.
 type LockChain []LockID
 
-// LockorderConfig lists the documented chains.
+// LockorderConfig lists the documented chains. Interprocedural enables the
+// call-graph layer; off, the analyzer is exactly the v1 per-function check
+// (the regression test for the seeded two-hop inversion runs both ways to
+// prove v1 misses it).
 type LockorderConfig struct {
-	Chains []LockChain
+	Chains          []LockChain
+	Interprocedural bool
 }
 
 // NewLockorder builds the analyzer.
 func NewLockorder(cfg LockorderConfig) *Analyzer {
 	return &Analyzer{
-		Name: "lockorder",
-		Doc:  "lock-hierarchy inversions",
-		Run:  func(p *Package) []Finding { return runLockorder(p, cfg) },
+		Name:      "lockorder",
+		Doc:       "lock-hierarchy inversions (interprocedural)",
+		RunModule: func(m *Module) []Finding { return runLockorder(m, cfg) },
 	}
 }
 
-func runLockorder(p *Package, cfg LockorderConfig) []Finding {
+func runLockorder(m *Module, cfg LockorderConfig) []Finding {
+	var acq map[int][]lockReach
+	if cfg.Interprocedural {
+		acq = lockAcquirers(m, cfg)
+	}
 	var out []Finding
-	for _, file := range p.Files {
-		for _, decl := range file.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			out = append(out, lockWalk(p, cfg, fd)...)
-		}
+	for _, key := range m.keys {
+		out = append(out, lockWalk(m, cfg, m.funcs[key], acq)...)
 	}
 	return out
+}
+
+// lockReach is, for one (chain, rank), the set of functions from which a
+// direct acquisition of that lock is reachable over non-spawn call edges,
+// plus the acquisition site inside each seed.
+type lockReach struct {
+	reach map[string]reachHop
+	sites map[string]token.Pos // seed key → Lock() call position
+}
+
+// lockAcquirers scans every function for direct non-deferred acquisitions
+// of each configured lock and closes over the reverse call graph: after
+// this, acq[chain][rank].reach answers "can calling F end up acquiring
+// this lock on the caller's goroutine?".
+func lockAcquirers(m *Module, cfg LockorderConfig) map[int][]lockReach {
+	acq := make(map[int][]lockReach, len(cfg.Chains))
+	for ci, chain := range cfg.Chains {
+		acq[ci] = make([]lockReach, len(chain))
+		for ri := range chain {
+			acq[ci][ri].sites = make(map[string]token.Pos)
+		}
+	}
+	for _, key := range m.keys {
+		mf := m.funcs[key]
+		inDefer := 0
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if ds, ok := n.(*ast.DeferStmt); ok {
+					inDefer++
+					walk(ds.Call)
+					inDefer--
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ev, ok := classifyLockCall(mf.pkg, cfg, call)
+				if !ok || !ev.acquire || inDefer > 0 {
+					return true
+				}
+				if _, seen := acq[ev.chain][ev.rank].sites[key]; !seen {
+					acq[ev.chain][ev.rank].sites[key] = call.Pos()
+				}
+				return true
+			})
+		}
+		walk(mf.decl.Body)
+	}
+	for ci := range cfg.Chains {
+		for ri := range cfg.Chains[ci] {
+			seeds := make(map[string]token.Pos, len(acq[ci][ri].sites))
+			for k, p := range acq[ci][ri].sites {
+				seeds[k] = p
+			}
+			acq[ci][ri].reach = m.reverseReach(seeds)
+		}
+	}
+	return acq
 }
 
 // lockEvent is one Lock/Unlock call on a configured mutex.
@@ -65,13 +138,20 @@ type lockEvent struct {
 	call        *ast.CallExpr
 }
 
-func lockWalk(p *Package, cfg LockorderConfig, fd *ast.FuncDecl) []Finding {
+func lockWalk(m *Module, cfg LockorderConfig, mf *moduleFunc, acq map[int][]lockReach) []Finding {
+	p := mf.pkg
 	var out []Finding
 	// held[chain] is the set of held ranks, in acquisition order.
 	held := make(map[int][]int)
 	name := func(chain, rank int) string {
 		id := cfg.Chains[chain][rank]
 		return id.Type + "." + id.Field
+	}
+	// Call-graph edges of this function, keyed by call position, so the
+	// source-order walk can consult resolved callees as it passes each site.
+	edges := make(map[token.Pos][]callSite)
+	for _, cs := range mf.calls {
+		edges[cs.pos] = append(edges[cs.pos], cs)
 	}
 	inDefer := 0
 	var walk func(n ast.Node)
@@ -87,43 +167,115 @@ func lockWalk(p *Package, cfg LockorderConfig, fd *ast.FuncDecl) []Finding {
 			if !ok {
 				return true
 			}
-			ev, ok := classifyLockCall(p, cfg, call)
-			if !ok {
-				return true
-			}
-			ev.deferred = inDefer > 0
-			if ev.acquire {
-				if ev.deferred {
-					return true // defer x.Lock() — nonsense, ignore
-				}
-				for _, r := range held[ev.chain] {
-					if r > ev.rank {
-						out = append(out, Finding{
-							Pos:      p.Fset.Position(call.Pos()),
-							Analyzer: "lockorder",
-							Message: fmt.Sprintf("acquires %s while holding %s — the documented hierarchy is %s before %s (annotate //lint:lockorder-ok <reason> if the analysis is wrong)",
-								name(ev.chain, ev.rank), name(ev.chain, r),
-								name(ev.chain, ev.rank), name(ev.chain, r)),
-						})
+			if ev, ok := classifyLockCall(p, cfg, call); ok {
+				ev.deferred = inDefer > 0
+				if ev.acquire {
+					if ev.deferred {
+						return true // defer x.Lock() — nonsense, ignore
+					}
+					for _, r := range held[ev.chain] {
+						if r > ev.rank {
+							out = append(out, Finding{
+								Pos:      p.Fset.Position(call.Pos()),
+								Analyzer: "lockorder",
+								Message: fmt.Sprintf("acquires %s while holding %s — the documented hierarchy is %s before %s (annotate //lint:lockorder-ok <reason> if the analysis is wrong)",
+									name(ev.chain, ev.rank), name(ev.chain, r),
+									name(ev.chain, ev.rank), name(ev.chain, r)),
+							})
+						}
+					}
+					held[ev.chain] = append(held[ev.chain], ev.rank)
+				} else if !ev.deferred {
+					// Explicit unlock releases the most recent matching rank;
+					// a deferred unlock keeps the lock held to function end.
+					hs := held[ev.chain]
+					for i := len(hs) - 1; i >= 0; i-- {
+						if hs[i] == ev.rank {
+							held[ev.chain] = append(hs[:i], hs[i+1:]...)
+							break
+						}
 					}
 				}
-				held[ev.chain] = append(held[ev.chain], ev.rank)
-			} else if !ev.deferred {
-				// Explicit unlock releases the most recent matching rank;
-				// a deferred unlock keeps the lock held to function end.
-				hs := held[ev.chain]
-				for i := len(hs) - 1; i >= 0; i-- {
-					if hs[i] == ev.rank {
-						held[ev.chain] = append(hs[:i], hs[i+1:]...)
-						break
+				return true
+			}
+			if acq == nil || inDefer > 0 {
+				return true
+			}
+			// Interprocedural: does any resolved callee reach an acquisition
+			// that would rank above what we hold right now?
+			for ci := range cfg.Chains {
+				hs := held[ci]
+				if len(hs) == 0 {
+					continue
+				}
+				maxHeld := hs[0]
+				for _, r := range hs[1:] {
+					if r > maxHeld {
+						maxHeld = r
+					}
+				}
+				for ra := 0; ra < maxHeld; ra++ {
+					if f, ok := lockCallFinding(m, cfg, mf, call, edges, ci, ra, maxHeld, acq); ok {
+						out = append(out, f)
 					}
 				}
 			}
 			return true
 		})
 	}
-	walk(fd.Body)
+	walk(mf.decl.Body)
 	return out
+}
+
+// lockCallFinding reports an inversion at a call site when one of its
+// resolved, non-spawned callees can reach an acquisition of (chain, rank)
+// while the caller holds heldRank > rank. The first matching callee (edge
+// order = widening order, deterministic) supplies the witness chain.
+func lockCallFinding(m *Module, cfg LockorderConfig, mf *moduleFunc, call *ast.CallExpr, edges map[token.Pos][]callSite, chain, rank, heldRank int, acq map[int][]lockReach) (Finding, bool) {
+	lr := acq[chain][rank]
+	for _, cs := range edges[call.Pos()] {
+		if cs.spawn {
+			continue
+		}
+		hop, ok := lr.reach[cs.callee]
+		if !ok {
+			continue
+		}
+		// Walk the witness path down to the seed that performs the Lock().
+		chainKeys := []string{shortFuncKey(mf.key), shortFuncKey(cs.callee)}
+		at := cs.callee
+		for hop.next != "" {
+			chainKeys = append(chainKeys, shortFuncKey(hop.next))
+			at = hop.next
+			hop = lr.reach[at]
+		}
+		outer := cfg.Chains[chain][rank]
+		inner := cfg.Chains[chain][heldRank]
+		lockName := outer.Type + "." + outer.Field
+		heldName := inner.Type + "." + inner.Field
+		sitePos := mf.pkg.Fset.Position(lr.sites[at])
+		chainKeys = append(chainKeys, fmt.Sprintf("%s.Lock", lockName))
+		return Finding{
+			Pos:      mf.pkg.Fset.Position(call.Pos()),
+			Analyzer: "lockorder",
+			Message: fmt.Sprintf("calls %s while holding %s, and the callee can acquire %s (%s:%d) — call chain %s; the documented hierarchy is %s before %s (annotate //lint:lockorder-ok <reason> if the analysis is wrong)",
+				shortFuncKey(cs.callee), heldName, lockName,
+				baseName(sitePos.Filename), sitePos.Line,
+				strings.Join(chainKeys, " → "), lockName, heldName),
+			Chain: chainKeys,
+		}, true
+	}
+	return Finding{}, false
+}
+
+// baseName is filepath.Base without importing path/filepath here: chain
+// messages keep only the file's base name so findings are stable across
+// checkouts.
+func baseName(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
 }
 
 // classifyLockCall matches <expr>.<Field>.Lock()/RLock()/Unlock()/RUnlock()

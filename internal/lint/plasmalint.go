@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,29 +42,73 @@ var (
 			{Pkg: "plasmahd/internal/bayeslsh", Type: "Cache", Field: "appendMu"},
 		},
 	}
+	// codecPairs are the paired binary codecs codecsym/codeclayout check.
+	// Encode/Decode names may be receiver-qualified ("Session.Snapshot")
+	// when the bare name is ambiguous in its package.
+	codecPairs = []CodecPair{
+		{Name: "cache", Pkg: "plasmahd/internal/bayeslsh",
+			Encode: "Cache.EncodeSnapshot", Decode: "DecodeSnapshot",
+			Version: "CacheSnapshotVersion"},
+		{Name: "session", Pkg: "plasmahd/internal/core",
+			Encode: "Session.Snapshot", Decode: "RestoreSession",
+			Version: "SessionSnapshotVersion"},
+		{Name: "spec", Pkg: "plasmahd/internal/dataset",
+			Encode: "Spec.MarshalBinary", Decode: "Spec.UnmarshalBinary",
+			Version: "specCodecVersion"},
+	}
+	// nestedCodecs collapse one codec's entry points to a shared leaf when
+	// another codec embeds it (the session snapshot embeds the cache's).
+	nestedCodecs = map[string]string{"EncodeSnapshot": "DecodeSnapshot"}
+	// goleakPkgs are where an orphaned goroutine outlives SIGTERM.
+	goleakPkgs = []string{"plasmahd/internal/server", "plasmahd/internal/blob"}
 )
 
-// DefaultAnalyzers returns the production analyzer suite.
-func DefaultAnalyzers() []*Analyzer {
+// layoutGoldenDir locates the checked-in codec fingerprints relative to
+// the module root.
+func layoutGoldenDir(root string) string {
+	return filepath.Join(root, "internal", "lint", "testdata", "layouts")
+}
+
+// DefaultAnalyzers returns the production analyzer suite — all eight —
+// with golden layout fingerprints under the given module root.
+func DefaultAnalyzers(root string) []*Analyzer {
 	return []*Analyzer{
 		NewMapiter(MapiterConfig{Packages: determinismPkgs}),
 		NewAtomicmix(),
 		NewPrealloc(PreallocConfig{Files: decodeFiles}),
 		NewHTTPErr(HTTPErrConfig{Packages: serverPkgs, AllowFuncs: envelopeFuncs}),
-		NewLockorder(LockorderConfig{Chains: lockChains}),
+		NewLockorder(LockorderConfig{Chains: lockChains, Interprocedural: true}),
+		NewCodecsym(CodecsymConfig{Pairs: codecPairs, Nested: nestedCodecs}),
+		NewCodeclayout(CodeclayoutConfig{Pairs: codecPairs, Nested: nestedCodecs, Dir: layoutGoldenDir(root)}),
+		NewGoleak(GoleakConfig{Packages: goleakPkgs}),
 	}
 }
 
+// jsonFinding is the stable machine-readable finding schema consumed by
+// scripts/lintdiff.sh. Field order and names are part of the contract;
+// chain is always present (empty, not null) so consumers can index it.
+type jsonFinding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain"`
+}
+
 // Main is the plasmalint driver: load every package matching the patterns
-// (default ./...), run the suite, print findings as
-// "file:line: [analyzer] message". Exit status: 0 clean, 1 findings,
+// (default ./...) exactly once, run the suite over the shared module, and
+// print findings — "file:line: [analyzer] message" by default, one JSON
+// object per line with -json. -fix-layouts regenerates the codec layout
+// fingerprints instead of linting. Exit status: 0 clean, 1 findings,
 // 2 usage or load failure.
 func Main(dir string, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("plasmalint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as JSON Lines (file, line, analyzer, message, chain)")
+	fixLayouts := fs.Bool("fix-layouts", false, "regenerate codec layout fingerprints and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: plasmalint [-only analyzers] [packages]\n")
+		fmt.Fprintf(stderr, "usage: plasmalint [-only analyzers] [-json] [-fix-layouts] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -74,7 +119,7 @@ func Main(dir string, args []string, stdout, stderr io.Writer) int {
 		patterns = []string{"./..."}
 	}
 
-	analyzers := DefaultAnalyzers()
+	analyzers := DefaultAnalyzers(dir)
 	if *only != "" {
 		sel := make(map[string]bool)
 		for _, n := range strings.Split(*only, ",") {
@@ -104,18 +149,48 @@ func Main(dir string, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "plasmalint: %v\n", err)
 		return 2
 	}
-	var all []Finding
+	var pkgs []*Package
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "plasmalint: %v\n", err)
 			return 2
 		}
-		all = append(all, Lint(pkg, analyzers)...)
+		pkgs = append(pkgs, pkg)
 	}
-	sortFindings(all)
+	m := NewModule(pkgs)
+
+	if *fixLayouts {
+		written, err := WriteLayoutGoldens(m, CodeclayoutConfig{
+			Pairs: codecPairs, Nested: nestedCodecs, Dir: layoutGoldenDir(dir)})
+		if err != nil {
+			fmt.Fprintf(stderr, "plasmalint: %v\n", err)
+			return 2
+		}
+		for _, p := range written {
+			fmt.Fprintf(stderr, "plasmalint: wrote %s\n", relPath(dir, p))
+		}
+		return 0
+	}
+
+	all := LintModule(m, analyzers)
+	enc := json.NewEncoder(stdout)
 	for _, f := range all {
 		f.Pos.Filename = relPath(dir, f.Pos.Filename)
+		if *asJSON {
+			chain := f.Chain
+			if chain == nil {
+				chain = []string{}
+			}
+			if err := enc.Encode(jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line,
+				Analyzer: f.Analyzer, Message: f.Message, Chain: chain,
+			}); err != nil {
+				fmt.Fprintf(stderr, "plasmalint: %v\n", err)
+				return 2
+			}
+			continue
+		}
 		fmt.Fprintln(stdout, f.String())
 	}
 	if len(all) > 0 {

@@ -1,0 +1,120 @@
+// Package codecsymtest is the codecsym golden fixture: paired mini codecs
+// in the repo's writer/reader idiom — one symmetric (with a loop and a
+// branch whose shared head must hoist), one with a field-order swap, one
+// missing its decode half, and one embedding another codec as a nested
+// leaf.
+package codecsymtest
+
+import "encoding/binary"
+
+type miniWriter struct{ out []byte }
+
+func (w *miniWriter) u8(v uint8)   { w.out = append(w.out, v) }
+func (w *miniWriter) u32(v uint32) { w.out = binary.LittleEndian.AppendUint32(w.out, v) }
+func (w *miniWriter) u64(v uint64) { w.out = binary.LittleEndian.AppendUint64(w.out, v) }
+
+type miniReader struct{ data []byte }
+
+func (r *miniReader) u8() uint8 {
+	v := r.data[0]
+	r.data = r.data[1:]
+	return v
+}
+
+func (r *miniReader) u32() uint32 {
+	v := binary.LittleEndian.Uint32(r.data)
+	r.data = r.data[4:]
+	return v
+}
+
+func (r *miniReader) u64() uint64 {
+	v := binary.LittleEndian.Uint64(r.data)
+	r.data = r.data[8:]
+	return v
+}
+
+// encodeGood and decodeGood agree: count, values, then a tag-dependent
+// tail. The encoder writes the tag inside each branch, the decoder reads
+// it before branching — normalization hoists the shared u8 head so the
+// shapes compare equal.
+func encodeGood(xs []uint32, wide bool) []byte {
+	w := &miniWriter{}
+	w.u32(uint32(len(xs)))
+	for _, x := range xs {
+		w.u32(x)
+	}
+	if wide {
+		w.u8(1)
+		w.u64(0)
+	} else {
+		w.u8(0)
+		w.u32(0)
+	}
+	return w.out
+}
+
+func decodeGood(data []byte) []uint32 {
+	r := &miniReader{data: data}
+	n := r.u32()
+	out := make([]uint32, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, r.u32())
+	}
+	tag := r.u8()
+	if tag == 1 {
+		r.u64()
+	} else {
+		r.u32()
+	}
+	return out
+}
+
+// encodeBad writes count then per-item u32 id + u64 weight; decodeBad
+// reads the per-item fields transposed — compiles fine, decodes shifted
+// garbage.
+func encodeBad(n int) []byte {
+	w := &miniWriter{}
+	w.u32(uint32(n))
+	for i := 0; i < n; i++ {
+		w.u32(1)
+		w.u64(2)
+	}
+	return w.out
+}
+
+func decodeBad(data []byte) int { // want "encode/decode layouts disagree"
+	r := &miniReader{data: data}
+	n := r.u32()
+	for i := uint32(0); i < n; i++ {
+		r.u64()
+		r.u32()
+	}
+	return int(n)
+}
+
+// encodeHalf lost its decode counterpart (renamed away): config rot the
+// analyzer reports rather than silently skipping.
+func encodeHalf() []byte { // want "found encodeHalf but not its counterpart decodeHalf"
+	w := &miniWriter{}
+	w.u8(7)
+	return w.out
+}
+
+// encodeOuter embeds the good codec: the call collapses to one shared
+// codec(...) leaf on both sides instead of re-walking the callee.
+func encodeOuter(xs []uint32) []byte {
+	w := &miniWriter{}
+	w.u8(9)
+	blob := encodeGood(xs, false)
+	w.u32(uint32(len(blob)))
+	return append(w.out, blob...)
+}
+
+func decodeOuter(data []byte) {
+	r := &miniReader{data: data}
+	if r.u8() != 9 {
+		return
+	}
+	decodeGood(r.data)
+	r.u32()
+}

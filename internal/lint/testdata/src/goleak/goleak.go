@@ -1,0 +1,78 @@
+// Package goleaktest is the goleak golden fixture: spawn sites with and
+// without a path to observing shutdown, plus the unresolvable-target and
+// deliberate-detachment cases.
+package goleaktest
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// spawnLeak detaches a goroutine with no shutdown edge at all.
+func spawnLeak() {
+	go work() // want "goroutine spawned by goleak.spawnLeak has no shutdown edge"
+}
+
+// spawnLitLeak is the same leak through a literal.
+func spawnLitLeak() {
+	go func() { // want "goroutine spawned by goleak.spawnLitLeak has no shutdown edge"
+		work()
+	}()
+}
+
+// watch selects on ctx.Done: the canonical shutdown edge.
+func watch(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+		}
+	}
+}
+
+func spawnWatched(ctx context.Context, ch chan int) {
+	go watch(ctx, ch)
+}
+
+// outer reaches an edge transitively: outer → inner → done receive.
+func outer(done chan struct{}) { inner(done) }
+
+func inner(done chan struct{}) { <-done }
+
+func spawnTransitive(done chan struct{}) {
+	go outer(done)
+}
+
+// drain ranges over a channel: close() is its shutdown signal.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func spawnDrain(ch chan int) {
+	go drain(ch)
+}
+
+// spawnTracked is WaitGroup-tracked: the spawner's Wait is the barrier.
+func spawnTracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// spawnFuncValue cannot be resolved through the call graph, so the
+// analyzer cannot prove it safe and flags it.
+func spawnFuncValue(f func()) {
+	go f() // want "goroutine spawned by goleak.spawnFuncValue has no shutdown edge"
+}
+
+// spawnAnnotated is deliberately detached and says why.
+func spawnAnnotated() {
+	//lint:goleak-ok fixture: bounded one-shot work, detachment is the point
+	go work()
+}

@@ -56,3 +56,48 @@ func annotated(w *world) {
 	w.srv.stateMu.Unlock()
 	w.mgr.mu.Unlock()
 }
+
+// ---- interprocedural cases: the v1 per-function walk sees nothing wrong
+// in any single body below; only the call graph exposes the inversion. ----
+
+// twoHop is the seeded two-hop inversion: inner held, then a call whose
+// transitive callee acquires the outer lock.
+func twoHop(w *world) {
+	w.mgr.mu.Lock()
+	hopOne(w) // want "calls lockorder.hopOne while holding Manager.mu"
+	w.mgr.mu.Unlock()
+}
+
+// hopOne only forwards; it holds nothing itself.
+func hopOne(w *world) { hopTwo(w) }
+
+// hopTwo acquires the outer lock with nothing held — clean in isolation.
+func hopTwo(w *world) {
+	w.srv.stateMu.Lock()
+	w.srv.stateMu.Unlock()
+}
+
+// spawned hands the outer acquisition to a new goroutine: unordered with
+// the caller's held lock, so not an inversion.
+func spawned(w *world) {
+	w.mgr.mu.Lock()
+	go hopTwo(w)
+	w.mgr.mu.Unlock()
+}
+
+// callAfterRelease is sequential: the inner lock is gone by the call.
+func callAfterRelease(w *world) {
+	w.mgr.mu.Lock()
+	w.mgr.mu.Unlock()
+	hopOne(w)
+}
+
+// lockInner acquires the inner lock with nothing held.
+func lockInner(w *world) { w.mgr.mu.Lock(); w.mgr.mu.Unlock() }
+
+// outerThenCallInner follows the hierarchy through a call: fine.
+func outerThenCallInner(w *world) {
+	w.srv.stateMu.Lock()
+	lockInner(w)
+	w.srv.stateMu.Unlock()
+}

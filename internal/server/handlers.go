@@ -884,6 +884,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		err   error
 	}
 	ch := make(chan outcome, 1)
+	//lint:goleak-ok deliberately detached: bounded one-shot send to a buffered channel; the sweep must finish (and release the session) even after the request times out
 	go func() {
 		defer release()
 		// Same detachment as handleProbe: recover here, where the recovery

@@ -1,0 +1,50 @@
+#!/bin/sh
+# lintdiff.sh — compare a `plasmalint -json` findings stream against the
+# checked-in baseline (scripts/lint-baseline.jsonl) and fail on anything NEW.
+#
+# The baseline is the ratchet: grandfathered findings listed there are
+# tolerated (so an analyzer can ship before the whole tree is clean), but any
+# finding not in the baseline fails the build. The tree is currently clean,
+# so the baseline is empty and every finding is new.
+#
+# Line numbers are normalized to 0 before comparing: a finding should match
+# its baseline entry even after unrelated edits shift it within the file.
+# Everything else (file, analyzer, message, chain) must match exactly.
+#
+# Usage: lintdiff.sh <findings.jsonl> [baseline.jsonl]
+#        plasmalint -json ./... > f.jsonl || true; sh scripts/lintdiff.sh f.jsonl
+set -eu
+
+findings=${1:?usage: lintdiff.sh <findings.jsonl> [baseline.jsonl]}
+baseline=${2:-$(dirname "$0")/lint-baseline.jsonl}
+
+[ -f "$findings" ] || { echo "lintdiff: no such findings file: $findings" >&2; exit 2; }
+[ -f "$baseline" ] || { echo "lintdiff: no such baseline: $baseline" >&2; exit 2; }
+
+# normalize — drop comment/blank lines, blank the line number, sort for
+# comm(1). sed is enough because the schema is flat JSONL with a fixed key
+# order ("line" appears exactly once per record).
+normalize() {
+    sed -e '/^[[:space:]]*#/d' -e '/^[[:space:]]*$/d' \
+        -e 's/"line":[0-9][0-9]*/"line":0/' "$1" | sort -u
+}
+
+nf=$(mktemp); nb=$(mktemp)
+trap 'rm -f "$nf" "$nb"' EXIT INT TERM
+normalize "$findings" > "$nf"
+normalize "$baseline" > "$nb"
+
+new=$(comm -13 "$nb" "$nf")
+fixed=$(comm -23 "$nb" "$nf")
+
+if [ -n "$fixed" ]; then
+    echo "lintdiff: $(printf '%s\n' "$fixed" | wc -l | tr -d ' ') baseline finding(s) no longer fire — prune them from $baseline:" >&2
+    printf '%s\n' "$fixed" >&2
+fi
+if [ -n "$new" ]; then
+    echo "lintdiff: new finding(s) not in baseline:" >&2
+    printf '%s\n' "$new" >&2
+    echo "lintdiff: fix them or annotate with //lint:<analyzer>-ok <reason>" >&2
+    exit 1
+fi
+echo "lintdiff: no new findings ($(grep -c . "$nb" || true) grandfathered)"

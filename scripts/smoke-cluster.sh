@@ -9,7 +9,35 @@ set -eu
 
 workdir=$(mktemp -d)
 pids=""
-trap 'for p in $pids; do kill "$p" 2>/dev/null || true; done; rm -rf "$workdir"' EXIT INT TERM
+
+# cleanup runs on every exit path (success, assertion failure, ^C): TERM all
+# spawned nodes, give them a bounded grace window to finish their shutdown
+# save, KILL any straggler, and only then remove the workdir — removing the
+# shared blob dir while a node is still spilling to it would race the
+# graceful shutdown and leave orphan plasmad processes holding deleted cwds.
+cleanup() {
+    status=$?
+    trap - EXIT INT TERM
+    for p in $pids; do kill -TERM "$p" 2>/dev/null || true; done
+    deadline=50 # x0.1s = 5s grace for shutdown saves
+    while [ "$deadline" -gt 0 ]; do
+        live=""
+        for p in $pids; do kill -0 "$p" 2>/dev/null && live=1; done
+        [ -n "$live" ] || break
+        deadline=$((deadline - 1))
+        sleep 0.1
+    done
+    for p in $pids; do
+        if kill -0 "$p" 2>/dev/null; then
+            echo "smoke-cluster: pid $p ignored SIGTERM, killing" >&2
+            kill -KILL "$p" 2>/dev/null || true
+        fi
+    done
+    for p in $pids; do wait "$p" 2>/dev/null || true; done
+    rm -rf "$workdir"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
 
 echo "smoke-cluster: building plasmad"
 go build -o "$workdir/plasmad" ./cmd/plasmad
